@@ -1,0 +1,55 @@
+//===- bench/FigureBench.h - Shared figure-bench scaffolding ---*- C++ -*-===//
+//
+// Part of AutoSynch-C++, a reproduction of "AutoSynch: An Automatic-Signal
+// Monitor Based on Predicate Tagging" (Hung & Garg, PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Helpers shared by the per-figure benchmark executables: repetition with
+/// the paper's drop-best-and-worst averaging, and mechanism row/column
+/// plumbing.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AUTOSYNCH_BENCH_FIGUREBENCH_H
+#define AUTOSYNCH_BENCH_FIGUREBENCH_H
+
+#include "bench_support/BenchOptions.h"
+#include "bench_support/Drivers.h"
+#include "bench_support/Table.h"
+#include "problems/Mechanism.h"
+#include "support/Stats.h"
+
+#include <cstdio>
+#include <functional>
+#include <vector>
+
+namespace autosynch::bench {
+
+/// Runs \p Body Reps times and returns the drop-best-and-worst mean of the
+/// measured seconds plus the metrics of the last repetition (counters are
+/// workload-deterministic enough for reporting).
+inline RunMetrics
+repeatRun(int Reps, const std::function<RunMetrics()> &Body) {
+  std::vector<double> Seconds;
+  RunMetrics Last;
+  for (int R = 0; R != Reps; ++R) {
+    Last = Body();
+    Seconds.push_back(Last.Seconds);
+  }
+  Last.Seconds = summarizeRuns(Seconds).Mean;
+  return Last;
+}
+
+/// Prints the standard bench banner.
+inline void banner(const char *Experiment, const char *Description,
+                   const BenchOptions &Opts) {
+  std::printf("# %s\n# %s\n# reps=%d scale=%.2f (override with "
+              "AUTOSYNCH_BENCH_THREADS / _REPS / _SCALE)\n",
+              Experiment, Description, Opts.Reps, Opts.OpsScale);
+}
+
+} // namespace autosynch::bench
+
+#endif // AUTOSYNCH_BENCH_FIGUREBENCH_H

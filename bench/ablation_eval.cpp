@@ -1,0 +1,79 @@
+//===- bench/ablation_eval.cpp - Evaluator micro-ablation ---------------------===//
+//
+// Part of AutoSynch-C++, a reproduction of "AutoSynch: An Automatic-Signal
+// Monitor Based on Predicate Tagging" (Hung & Garg, PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+//
+// Micro-ablation of predicate-evaluation strategies: the reference
+// tree-walking evaluator versus the compiled bytecode VM, on predicates
+// representative of the paper's problems. Relay signaling evaluates
+// predicates on its hot path (§1's "predicate evaluation" cost), so this
+// is the per-check cost the monitor pays.
+//
+//===----------------------------------------------------------------------===//
+
+#include "expr/Bytecode.h"
+#include "expr/Eval.h"
+#include "parse/PredicateParser.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace autosynch;
+
+namespace {
+
+struct Fixture {
+  SymbolTable Syms;
+  ExprArena Arena;
+  MapEnv Env;
+  ExprRef Pred;
+  CompiledPredicate Code;
+
+  explicit Fixture(const char *Src) {
+    VarId Count = Syms.declare("count", TypeKind::Int, VarScope::Shared);
+    VarId Serving = Syms.declare("serving", TypeKind::Int, VarScope::Shared);
+    VarId Writers = Syms.declare("writers", TypeKind::Int, VarScope::Shared);
+    VarId Readers = Syms.declare("readers", TypeKind::Int, VarScope::Shared);
+    Env.bindInt(Count, 37).bindInt(Serving, 12).bindInt(Writers, 0);
+    Env.bindInt(Readers, 3);
+    PredicateParseResult R = parsePredicate(Src, Arena, Syms);
+    AUTOSYNCH_CHECK(R.ok(), "fixture predicate must parse");
+    Pred = R.Expr;
+    Code = CompiledPredicate::compile(Pred);
+  }
+};
+
+constexpr const char *SimpleThreshold = "count >= 48";
+constexpr const char *RwConjunction =
+    "serving == 12 && writers == 0 && readers == 0";
+constexpr const char *WideDisjunction =
+    "count >= 48 || serving == 3 || count + readers >= 100 || "
+    "writers == 1 && count <= 10";
+
+void treeWalk(benchmark::State &State, const char *Src) {
+  Fixture F(Src);
+  for (auto _ : State) {
+    bool B = evalBool(F.Pred, F.Env);
+    benchmark::DoNotOptimize(B);
+  }
+}
+
+void bytecode(benchmark::State &State, const char *Src) {
+  Fixture F(Src);
+  for (auto _ : State) {
+    bool B = F.Code.runBool(F.Env);
+    benchmark::DoNotOptimize(B);
+  }
+}
+
+} // namespace
+
+BENCHMARK_CAPTURE(treeWalk, simple_threshold, SimpleThreshold);
+BENCHMARK_CAPTURE(bytecode, simple_threshold, SimpleThreshold);
+BENCHMARK_CAPTURE(treeWalk, rw_conjunction, RwConjunction);
+BENCHMARK_CAPTURE(bytecode, rw_conjunction, RwConjunction);
+BENCHMARK_CAPTURE(treeWalk, wide_disjunction, WideDisjunction);
+BENCHMARK_CAPTURE(bytecode, wide_disjunction, WideDisjunction);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,121 @@
+//===- bench/ablation_inactive_list.cpp - Inactive-cache ablation -------------===//
+//
+// Part of AutoSynch-C++, a reproduction of "AutoSynch: An Automatic-Signal
+// Monitor Based on Predicate Tagging" (Hung & Garg, PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+//
+// Ablation of the paper's §5.2 inactive list ("Predicates may be reused.
+// Instead of removing those predicates with no waiting thread, we move
+// those predicates to an inactive list"). Withdrawer threads cycle through
+// 8 distinct threshold predicates while one supplier drip-feeds units;
+// with the cache disabled (limit 0) every re-wait registers afresh (new
+// condition variable, DNF, tags); with the cache enabled parked
+// registrations are revived.
+//
+//===----------------------------------------------------------------------===//
+
+#include "FigureBench.h"
+
+#include "core/Monitor.h"
+
+#include <cstdio>
+#include <thread>
+
+using namespace autosynch;
+using namespace autosynch::bench;
+
+namespace {
+
+/// Minimal batch-threshold monitor (the Fig. 1 pattern) with a
+/// configurable inactive cache.
+class Pool : public Monitor {
+public:
+  explicit Pool(size_t CacheLimit) : Monitor(makeConfig(CacheLimit)) {}
+
+  void deposit(int64_t N) {
+    Region R(*this);
+    Level += N;
+  }
+
+  void withdraw(int64_t N) {
+    Region R(*this);
+    waitUntil(Level >= N);
+    Level -= N;
+  }
+
+  using Monitor::conditionManager;
+
+private:
+  static MonitorConfig makeConfig(size_t CacheLimit) {
+    MonitorConfig Cfg;
+    Cfg.InactiveCacheLimit = CacheLimit;
+    return Cfg;
+  }
+
+  Shared<int64_t> Level{*this, "level", 0};
+};
+
+double runChurn(Pool &P, int Withdrawers, int64_t OpsPerThread,
+                uint64_t &Registrations, uint64_t &Reuses) {
+  // Total demand, precomputed so the supplier exactly covers it.
+  int64_t Total = 0;
+  for (int T = 0; T != Withdrawers; ++T)
+    for (int64_t I = 0; I != OpsPerThread; ++I)
+      Total += (T + I) % 8 + 1;
+
+  std::vector<std::thread> Threads;
+  Stopwatch Watch;
+  // Unit deposits keep supply the bottleneck, so withdrawers block (and
+  // register predicates) on nearly every operation.
+  Threads.emplace_back([&P, Total] {
+    for (int64_t Left = Total; Left > 0; --Left)
+      P.deposit(1);
+  });
+  for (int T = 0; T != Withdrawers; ++T) {
+    Threads.emplace_back([&P, T, OpsPerThread] {
+      for (int64_t I = 0; I != OpsPerThread; ++I)
+        P.withdraw((T + I) % 8 + 1);
+    });
+  }
+  for (auto &T : Threads)
+    T.join();
+  double Seconds = Watch.seconds();
+  Registrations = P.conditionManager().stats().Registrations;
+  Reuses = P.conditionManager().stats().CacheReuses;
+  return Seconds;
+}
+
+} // namespace
+
+int main() {
+  BenchOptions Opts = BenchOptions::fromEnv();
+  banner("Ablation - inactive predicate cache (paper Section 5.2)",
+         "threshold churn; cache disabled (limit 0) vs enabled (64)", Opts);
+
+  const int64_t OpsPerThread = Opts.scaled(2000);
+
+  Table T({"withdrawers", "nocache-seconds", "cache-seconds",
+           "nocache-registrations", "cache-registrations",
+           "cache-reuses"});
+  for (int N : Opts.ThreadCounts) {
+    double Secs[2];
+    uint64_t Regs[2] = {0, 0}, Reuses[2] = {0, 0};
+    int Idx = 0;
+    for (size_t Limit : {size_t(0), size_t(64)}) {
+      std::vector<double> Seconds;
+      for (int Rep = 0; Rep != Opts.Reps; ++Rep) {
+        Pool P(Limit);
+        Seconds.push_back(
+            runChurn(P, N, OpsPerThread, Regs[Idx], Reuses[Idx]));
+      }
+      Secs[Idx] = summarizeRuns(Seconds).Mean;
+      ++Idx;
+    }
+    T.addRow({std::to_string(N), Table::fmtSeconds(Secs[0]),
+              Table::fmtSeconds(Secs[1]), Table::fmtCount(Regs[0]),
+              Table::fmtCount(Regs[1]), Table::fmtCount(Reuses[1])});
+  }
+  T.print();
+  return 0;
+}

@@ -1,0 +1,104 @@
+//===- bench/ablation_threshold_heap.cpp - Heap micro-ablation ----------------===//
+//
+// Part of AutoSynch-C++, a reproduction of "AutoSynch: An Automatic-Signal
+// Monitor Based on Predicate Tagging" (Hung & Garg, PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+//
+// Micro-ablation of the Fig. 4 data structure: threshold-tag search via the
+// min-heap versus an exhaustive linear scan, over growing predicate
+// populations. The heap's win is the pruned case (shared value below every
+// key: one comparison); the scan pays O(N) there.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Rng.h"
+#include "tag/ThresholdHeap.h"
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+using namespace autosynch;
+
+namespace {
+
+struct Record {
+  int64_t Key;
+  bool Truth;
+};
+
+struct Fixture {
+  ThresholdHeap<Record> Heap{ThresholdHeap<Record>::Direction::LowerBound};
+  std::vector<std::unique_ptr<Record>> Records;
+
+  explicit Fixture(int N) {
+    Rng R(7);
+    for (int I = 0; I != N; ++I) {
+      // Keys 10..10+N-1: a value of 0 prunes everything; a huge value
+      // makes every tag true.
+      Records.push_back(
+          std::make_unique<Record>(Record{10 + I, /*Truth=*/false}));
+      Heap.add(Records.back()->Key, /*Strict=*/false, Records.back().get());
+    }
+  }
+};
+
+void heapSearchPruned(benchmark::State &State) {
+  Fixture F(static_cast<int>(State.range(0)));
+  for (auto _ : State) {
+    Record *Found =
+        F.Heap.search(0, [](Record *R) { return R->Truth; });
+    benchmark::DoNotOptimize(Found);
+  }
+}
+
+void linearScanPruned(benchmark::State &State) {
+  Fixture F(static_cast<int>(State.range(0)));
+  for (auto _ : State) {
+    Record *Found = nullptr;
+    for (auto &R : F.Records) {
+      if (0 >= R->Key && R->Truth) { // Tag check then predicate check.
+        Found = R.get();
+        break;
+      }
+    }
+    benchmark::DoNotOptimize(Found);
+  }
+}
+
+void heapSearchAllTagsTrue(benchmark::State &State) {
+  // Worst case for the heap (paper: "In the worst case, we need to check
+  // all predicates"): every tag true, every predicate false, so the search
+  // pops and restores the whole heap.
+  Fixture F(static_cast<int>(State.range(0)));
+  for (auto _ : State) {
+    Record *Found =
+        F.Heap.search(1 << 30, [](Record *R) { return R->Truth; });
+    benchmark::DoNotOptimize(Found);
+  }
+}
+
+void linearScanAllTagsTrue(benchmark::State &State) {
+  Fixture F(static_cast<int>(State.range(0)));
+  for (auto _ : State) {
+    Record *Found = nullptr;
+    for (auto &R : F.Records) {
+      if ((1 << 30) >= R->Key && R->Truth) {
+        Found = R.get();
+        break;
+      }
+    }
+    benchmark::DoNotOptimize(Found);
+  }
+}
+
+} // namespace
+
+BENCHMARK(heapSearchPruned)->Arg(8)->Arg(64)->Arg(512);
+BENCHMARK(linearScanPruned)->Arg(8)->Arg(64)->Arg(512);
+BENCHMARK(heapSearchAllTagsTrue)->Arg(8)->Arg(64)->Arg(512);
+BENCHMARK(linearScanAllTagsTrue)->Arg(8)->Arg(64)->Arg(512);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,42 @@
+//===- bench/fig09_h2o.cpp - Paper Fig. 9 ------------------------------------===//
+//
+// Part of AutoSynch-C++, a reproduction of "AutoSynch: An Automatic-Signal
+// Monitor Based on Predicate Tagging" (Hung & Garg, PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+//
+// Fig. 9: the H2O problem with one oxygen thread and a growing number of
+// hydrogen threads. Paper expectation: baseline far slower; the other three
+// mechanisms comparable (shared threshold predicates only).
+//
+//===----------------------------------------------------------------------===//
+
+#include "FigureBench.h"
+
+using namespace autosynch;
+using namespace autosynch::bench;
+
+int main() {
+  BenchOptions Opts = BenchOptions::fromEnv();
+  banner("Fig. 9 - H2O (runtime seconds)",
+         "1 oxygen thread, N hydrogen threads", Opts);
+
+  const int64_t Molecules = Opts.scaled(10000);
+  const Mechanism Mechs[] = {Mechanism::Explicit, Mechanism::Baseline,
+                             Mechanism::AutoSynchT, Mechanism::AutoSynch};
+
+  Table T({"h-atoms", "explicit", "baseline", "AutoSynch-T", "AutoSynch"});
+  for (int N : Opts.ThreadCounts) {
+    std::vector<std::string> Row = {std::to_string(N)};
+    for (Mechanism M : Mechs) {
+      RunMetrics R = repeatRun(Opts.Reps, [&] {
+        auto W = makeH2O(M);
+        return runH2O(*W, N, Molecules);
+      });
+      Row.push_back(Table::fmtSeconds(R.Seconds));
+    }
+    T.addRow(std::move(Row));
+  }
+  T.print();
+  return 0;
+}

@@ -1,0 +1,43 @@
+//===- bench/fig10_sleeping_barber.cpp - Paper Fig. 10 ----------------------===//
+//
+// Part of AutoSynch-C++, a reproduction of "AutoSynch: An Automatic-Signal
+// Monitor Based on Predicate Tagging" (Hung & Garg, PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+//
+// Fig. 10: the sleeping barber with a growing customer population. Paper
+// expectation: all four mechanisms close — notably even the baseline,
+// because its signalAll wakes customers that can in fact make progress.
+//
+//===----------------------------------------------------------------------===//
+
+#include "FigureBench.h"
+
+using namespace autosynch;
+using namespace autosynch::bench;
+
+int main() {
+  BenchOptions Opts = BenchOptions::fromEnv();
+  banner("Fig. 10 - sleeping barber (runtime seconds)",
+         "1 barber, N customers, 8 waiting chairs", Opts);
+
+  const int64_t TotalCuts = Opts.scaled(20000);
+  const Mechanism Mechs[] = {Mechanism::Explicit, Mechanism::Baseline,
+                             Mechanism::AutoSynchT, Mechanism::AutoSynch};
+
+  Table T({"customers", "explicit", "baseline", "AutoSynch-T",
+           "AutoSynch"});
+  for (int N : Opts.ThreadCounts) {
+    std::vector<std::string> Row = {std::to_string(N)};
+    for (Mechanism M : Mechs) {
+      RunMetrics R = repeatRun(Opts.Reps, [&] {
+        auto S = makeSleepingBarber(M, 8);
+        return runSleepingBarber(*S, N, TotalCuts);
+      });
+      Row.push_back(Table::fmtSeconds(R.Seconds));
+    }
+    T.addRow(std::move(Row));
+  }
+  T.print();
+  return 0;
+}

@@ -1,0 +1,48 @@
+//===- bench/fig12_readers_writers.cpp - Paper Fig. 12 -----------------------===//
+//
+// Part of AutoSynch-C++, a reproduction of "AutoSynch: An Automatic-Signal
+// Monitor Based on Predicate Tagging" (Hung & Garg, PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+//
+// Fig. 12: ticketed readers/writers with the paper's 1:5 writer:reader
+// ratio, x-axis (writers/readers) pairs 2/10 .. 64/320. Expectation:
+// explicit flat (it signals the exact next ticket holder); AutoSynch-T
+// degrades with population; AutoSynch close to explicit via equivalence
+// tags on `serving`.
+//
+//===----------------------------------------------------------------------===//
+
+#include "FigureBench.h"
+
+using namespace autosynch;
+using namespace autosynch::bench;
+
+int main() {
+  BenchOptions Opts = BenchOptions::fromEnv();
+  banner("Fig. 12 - readers/writers (runtime seconds)",
+         "ticketed fair RW, writers:readers = 1:5", Opts);
+
+  const int64_t TotalOps = Opts.scaled(20000);
+  const Mechanism Mechs[] = {Mechanism::Explicit, Mechanism::AutoSynchT,
+                             Mechanism::AutoSynch};
+
+  Table T({"writers/readers", "explicit", "AutoSynch-T", "AutoSynch"});
+  for (int N : Opts.ThreadCounts) {
+    // The paper steps pairs (2/10, 4/20, ...): writers = N, readers = 5N.
+    int Writers = N;
+    int Readers = 5 * N;
+    std::vector<std::string> Row = {std::to_string(Writers) + "/" +
+                                    std::to_string(Readers)};
+    for (Mechanism M : Mechs) {
+      RunMetrics R = repeatRun(Opts.Reps, [&] {
+        auto RW = makeReadersWriters(M);
+        return runReadersWriters(*RW, Writers, Readers, TotalOps);
+      });
+      Row.push_back(Table::fmtSeconds(R.Seconds));
+    }
+    T.addRow(std::move(Row));
+  }
+  T.print();
+  return 0;
+}

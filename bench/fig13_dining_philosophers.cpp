@@ -1,0 +1,44 @@
+//===- bench/fig13_dining_philosophers.cpp - Paper Fig. 13 -------------------===//
+//
+// Part of AutoSynch-C++, a reproduction of "AutoSynch: An Automatic-Signal
+// Monitor Based on Predicate Tagging" (Hung & Garg, PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+//
+// Fig. 13: dining philosophers. Paper expectation: explicit does not win by
+// much — each philosopher only contends with two neighbours regardless of
+// N, so the automatic mechanisms' relay work stays local.
+//
+//===----------------------------------------------------------------------===//
+
+#include "FigureBench.h"
+
+using namespace autosynch;
+using namespace autosynch::bench;
+
+int main() {
+  BenchOptions Opts = BenchOptions::fromEnv();
+  banner("Fig. 13 - dining philosophers (runtime seconds)",
+         "N philosophers, chopstick-pair predicates", Opts);
+
+  const int64_t TotalMeals = Opts.scaled(40000);
+  const Mechanism Mechs[] = {Mechanism::Explicit, Mechanism::AutoSynchT,
+                             Mechanism::AutoSynch};
+
+  Table T({"philosophers", "explicit", "AutoSynch-T", "AutoSynch"});
+  for (int N : Opts.ThreadCounts) {
+    if (N < 2)
+      continue;
+    std::vector<std::string> Row = {std::to_string(N)};
+    for (Mechanism M : Mechs) {
+      RunMetrics R = repeatRun(Opts.Reps, [&] {
+        auto D = makeDiningPhilosophers(M, N);
+        return runDiningPhilosophers(*D, N, TotalMeals);
+      });
+      Row.push_back(Table::fmtSeconds(R.Seconds));
+    }
+    T.addRow(std::move(Row));
+  }
+  T.print();
+  return 0;
+}

@@ -1,0 +1,140 @@
+//===- examples/batch_allocator.cpp - Selective wakeup in action -------------===//
+//
+// Part of AutoSynch-C++, a reproduction of "AutoSynch: An Automatic-Signal
+// Monitor Based on Predicate Tagging" (Hung & Garg, PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+//
+// The paper's §3 motivating scenario, as a memory-block allocator: clients
+// request batches of blocks of very different sizes, so "which waiter can
+// proceed?" depends on how much just became free. Explicit signaling must
+// broadcast (signalAll) and let every client re-check; the AutoSynch
+// monitor's threshold tags find the one client whose request fits.
+//
+// This example runs the same workload against both and prints the wakeup
+// economics (the quantity behind the paper's Figs. 14-15).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Monitor.h"
+#include "support/Rng.h"
+#include "sync/Counters.h"
+#include "sync/Mutex.h"
+
+#include <cstdio>
+#include <memory>
+#include <thread>
+#include <vector>
+
+namespace {
+
+constexpr int64_t PoolBlocks = 256;
+constexpr int Clients = 12;
+constexpr int RequestsPerClient = 400;
+
+/// What both allocators implement.
+class AllocatorIface {
+public:
+  virtual ~AllocatorIface() = default;
+  virtual void allocate(int64_t Blocks) = 0;
+  virtual void release(int64_t Blocks) = 0;
+};
+
+/// Explicit-signal allocator: the releaser cannot know which waiter's
+/// request now fits, so it must wake everyone (paper §3).
+class ExplicitAllocator final : public AllocatorIface {
+public:
+  ExplicitAllocator() : SpaceFreed(Mutex.newCondition()) {}
+
+  void allocate(int64_t Blocks) override {
+    Mutex.lock();
+    while (Free < Blocks)
+      SpaceFreed->await();
+    Free -= Blocks;
+    Mutex.unlock();
+  }
+
+  void release(int64_t Blocks) override {
+    Mutex.lock();
+    Free += Blocks;
+    SpaceFreed->signalAll(); // Whom to wake? No idea: broadcast.
+    Mutex.unlock();
+  }
+
+private:
+  autosynch::sync::Mutex Mutex;
+  std::unique_ptr<autosynch::sync::Condition> SpaceFreed;
+  int64_t Free = PoolBlocks;
+};
+
+/// Automatic-signal allocator: one waituntil; the relay scan consults the
+/// threshold-tag heap and signals exactly one fitting request.
+class AutoAllocator final : public AllocatorIface,
+                            private autosynch::Monitor {
+public:
+  void allocate(int64_t Blocks) override {
+    Region R(*this);
+    waitUntil(Free >= Blocks);
+    Free -= Blocks;
+  }
+
+  void release(int64_t Blocks) override {
+    Region R(*this);
+    Free += Blocks;
+  }
+
+private:
+  Shared<int64_t> Free{*this, "free", PoolBlocks};
+};
+
+void runWorkload(AllocatorIface &A) {
+  std::vector<std::thread> Pool;
+  for (int C = 0; C != Clients; ++C) {
+    Pool.emplace_back([&A, C] {
+      autosynch::Rng R(1000 + C);
+      for (int I = 0; I != RequestsPerClient; ++I) {
+        // Mixed request sizes; hold the batch briefly so aggregate demand
+        // (12 clients x avg 64 blocks) overcommits the 256-block pool and
+        // waiters really queue up. One allocation per client at a time, so
+        // no hold-and-wait deadlock is possible.
+        int64_t Blocks = R.range(1, 128);
+        A.allocate(Blocks);
+        std::this_thread::yield();
+        A.release(Blocks);
+      }
+    });
+  }
+  for (auto &T : Pool)
+    T.join();
+}
+
+void report(const char *Name, AllocatorIface &A) {
+  using autosynch::sync::Counters;
+  using autosynch::sync::CountersSnapshot;
+  CountersSnapshot Before = Counters::global().snapshot();
+  runWorkload(A);
+  CountersSnapshot Delta = Counters::global().snapshot() - Before;
+  std::printf("%-9s  blocked %7llu times, woken %7llu times, "
+              "signalAll %5llu, directed signals %5llu\n",
+              Name, static_cast<unsigned long long>(Delta.Awaits),
+              static_cast<unsigned long long>(Delta.Wakeups),
+              static_cast<unsigned long long>(Delta.SignalAlls),
+              static_cast<unsigned long long>(Delta.Signals));
+}
+
+} // namespace
+
+int main() {
+  std::printf("batch allocator, %d clients x %d mixed-size requests, "
+              "%lld-block pool\n",
+              Clients, RequestsPerClient,
+              static_cast<long long>(PoolBlocks));
+  ExplicitAllocator Explicit;
+  report("explicit", Explicit);
+  AutoAllocator Automatic;
+  report("AutoSynch", Automatic);
+  std::printf("\nAutoSynch wakes a thread only when its own threshold is "
+              "satisfied;\nexplicit signaling broadcasts and lets every "
+              "waiter re-check (paper Section 3).\n");
+  return 0;
+}

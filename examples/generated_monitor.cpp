@@ -1,0 +1,73 @@
+//===- examples/generated_monitor.cpp - Using autosynchc output --------------===//
+//
+// Part of AutoSynch-C++, a reproduction of "AutoSynch: An Automatic-Signal
+// Monitor Based on Predicate Tagging" (Hung & Garg, PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+//
+// Demonstrates the translator pipeline (the paper's Fig. 2): the monitor in
+// examples/bounded_buffer.asynch was translated by
+//
+//   autosynchc examples/bounded_buffer.asynch \
+//       -o examples/generated/bounded_buffer.h
+//
+// and the generated class is used below like any hand-written monitor —
+// including running it under the Baseline / AutoSynch-T / AutoSynch signal
+// policies via the generated config parameter.
+//
+//===----------------------------------------------------------------------===//
+
+#include "generated/bounded_buffer.h"
+
+#include "core/ConditionManager.h"
+
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+using namespace autosynch;
+
+namespace {
+
+void run(SignalPolicy Policy) {
+  MonitorConfig Cfg;
+  Cfg.Policy = Policy;
+  GeneratedBoundedBuffer Buffer(/*capacity=*/64, Cfg);
+
+  std::vector<std::thread> Pool;
+  for (int64_t Batch : {3, 48, 7}) {
+    Pool.emplace_back([&Buffer, Batch] {
+      for (int I = 0; I != 300; ++I)
+        Buffer.put(Batch);
+    });
+  }
+  int64_t Total = 300 * (3 + 48 + 7);
+  // Take at most 16 at a time: the 48-item producer needs count <= 16, so
+  // any smaller consumer stride could wedge between the two thresholds.
+  Pool.emplace_back([&Buffer, Total] {
+    for (int64_t Left = Total; Left > 0;)
+      Left -= Buffer.take(Left < 16 ? Left : 16);
+  });
+  for (auto &T : Pool)
+    T.join();
+
+  const ManagerStats &S = Buffer.conditionManager().stats();
+  std::printf("%-12s size=%lld waits=%llu directed-signals=%llu "
+              "signalAll=%llu\n",
+              signalPolicyName(Policy),
+              static_cast<long long>(Buffer.size()),
+              static_cast<unsigned long long>(S.Waits),
+              static_cast<unsigned long long>(S.SignalsSent),
+              static_cast<unsigned long long>(S.BroadcastSignals));
+}
+
+} // namespace
+
+int main() {
+  std::printf("generated monitor (examples/bounded_buffer.asynch) under "
+              "all three automatic policies:\n");
+  run(SignalPolicy::Broadcast);
+  run(SignalPolicy::LinearScan);
+  run(SignalPolicy::Tagged);
+  return 0;
+}

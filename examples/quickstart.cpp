@@ -1,0 +1,94 @@
+//===- examples/quickstart.cpp - First steps with autosynch ------------------===//
+//
+// Part of AutoSynch-C++, a reproduction of "AutoSynch: An Automatic-Signal
+// Monitor Based on Predicate Tagging" (Hung & Garg, PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+//
+// The smallest useful automatic-signal monitor: a bounded buffer with no
+// condition variables and no signal/signalAll anywhere — the runtime
+// decides whom to wake (the paper's waituntil construct). Build and run:
+//
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Monitor.h"
+#include "sync/Counters.h"
+
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+namespace {
+
+/// Compare with the paper's Fig. 1: the explicit-signal version needs a
+/// lock, two condition variables, and correctly-placed signalAll calls.
+/// Here conditional synchronization is one waitUntil per method.
+class BoundedBuffer : public autosynch::Monitor {
+public:
+  explicit BoundedBuffer(int64_t Capacity) : Capacity(Capacity) {}
+
+  void put(int64_t Items) {
+    Region R(*this);
+    waitUntil(Count + Items <= Capacity); // Blocks until there is space.
+    Count += Items;
+  }
+
+  void take(int64_t Items) {
+    Region R(*this);
+    waitUntil(Count >= Items); // Blocks until enough items arrived.
+    Count -= Items;
+  }
+
+  int64_t size() {
+    Region R(*this);
+    return Count.get();
+  }
+
+private:
+  Shared<int64_t> Count{*this, "count", 0};
+  const int64_t Capacity;
+};
+
+} // namespace
+
+int main() {
+  autosynch::sync::Counters::global().reset();
+
+  BoundedBuffer Buffer(/*Capacity=*/64);
+
+  // Producers deposit batches of different sizes; consumers demand
+  // different amounts — every thread waits on its own threshold, and the
+  // monitor signals exactly one thread whose predicate became true.
+  std::vector<std::thread> Threads;
+  for (int64_t Batch : {3, 5, 7}) {
+    Threads.emplace_back([&Buffer, Batch] {
+      for (int I = 0; I != 200; ++I)
+        Buffer.put(Batch);
+    });
+  }
+  for (int64_t Want : {10, 20}) {
+    Threads.emplace_back([&Buffer, Want] {
+      for (int I = 0; I != 150 / (Want / 10); ++I)
+        Buffer.take(Want);
+    });
+  }
+  for (auto &T : Threads)
+    T.join();
+  // Totals match: puts 200*(3+5+7) = 3000; takes 150*10 + 75*20 = 3000.
+
+  std::printf("final size:      %lld (expected 0)\n",
+              static_cast<long long>(Buffer.size()));
+
+  autosynch::sync::CountersSnapshot S =
+      autosynch::sync::Counters::global().snapshot();
+  std::printf("threads blocked: %llu times\n",
+              static_cast<unsigned long long>(S.Awaits));
+  std::printf("signals sent:    %llu (each aimed at a true predicate)\n",
+              static_cast<unsigned long long>(S.Signals));
+  std::printf("signalAll calls: %llu (AutoSynch never broadcasts)\n",
+              static_cast<unsigned long long>(S.SignalAlls));
+  return 0;
+}

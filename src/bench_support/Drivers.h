@@ -1,0 +1,86 @@
+//===- bench_support/Drivers.h - Saturation workload drivers ---*- C++ -*-===//
+//
+// Part of AutoSynch-C++, a reproduction of "AutoSynch: An Automatic-Signal
+// Monitor Based on Predicate Tagging" (Hung & Garg, PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// One driver per evaluation problem, implementing the paper's saturation
+/// tests (§6.1: "only monitor accessing function is performed ... no extra
+/// work is in the monitor or out of the monitor"). Every driver starts all
+/// threads behind a barrier, times the whole run, and returns wall time
+/// plus OS and sync-layer event deltas.
+///
+/// One deliberate deviation, documented in EXPERIMENTS.md: the per-cell
+/// *total* operation count is fixed and divided among the threads, so a
+/// sweep point's runtime reflects per-operation cost under that level of
+/// contention (the paper fixes per-thread work instead; shapes are
+/// equivalent, absolute seconds are not).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AUTOSYNCH_BENCH_SUPPORT_DRIVERS_H
+#define AUTOSYNCH_BENCH_SUPPORT_DRIVERS_H
+
+#include "problems/BoundedBuffer.h"
+#include "problems/DiningPhilosophers.h"
+#include "problems/H2O.h"
+#include "problems/ParamBoundedBuffer.h"
+#include "problems/ReadersWriters.h"
+#include "problems/RoundRobin.h"
+#include "problems/SleepingBarber.h"
+#include "support/ProcStats.h"
+#include "sync/Counters.h"
+
+#include <cstdint>
+
+namespace autosynch::bench {
+
+/// Measurements of one driver run.
+struct RunMetrics {
+  double Seconds = 0.0;
+  /// OS context-switch delta (zero on kernels that do not report them).
+  ContextSwitches OsCtx;
+  /// Sync-layer event deltas (awaits, signals, signalAlls, wakeups).
+  sync::CountersSnapshot Sync;
+};
+
+/// Fig. 8: \p Producers producers and \p Consumers consumers moving
+/// \p TotalOps items (unit batches) through \p B.
+RunMetrics runBoundedBuffer(BoundedBufferIface &B, int Producers,
+                            int Consumers, int64_t TotalOps);
+
+/// Figs. 14-15: one producer, \p Consumers consumers, random batches of
+/// 1..MaxBatch items, \p TotalItems items in total (demand precomputed so
+/// supply exactly covers it).
+RunMetrics runParamBoundedBuffer(ParamBoundedBufferIface &B, int Consumers,
+                                 int64_t TotalItems, int64_t MaxBatch,
+                                 uint64_t Seed);
+
+/// Fig. 9: one oxygen thread, \p HThreads hydrogen threads, \p Molecules
+/// molecules in total.
+RunMetrics runH2O(H2OIface &W, int HThreads, int64_t Molecules);
+
+/// Fig. 10: one barber, \p Customers customer threads, \p TotalCuts
+/// haircuts in total (customers retry when they balk).
+RunMetrics runSleepingBarber(SleepingBarberIface &S, int Customers,
+                             int64_t TotalCuts);
+
+/// Fig. 11 / Table 1: \p Threads participants, \p TotalOps accesses in
+/// round-robin order (rounded down to a whole number of cycles).
+RunMetrics runRoundRobin(RoundRobinIface &RR, int Threads,
+                         int64_t TotalOps);
+
+/// Fig. 12: \p Writers writer and \p Readers reader threads, \p TotalOps
+/// operations split proportionally.
+RunMetrics runReadersWriters(ReadersWritersIface &RW, int Writers,
+                             int Readers, int64_t TotalOps);
+
+/// Fig. 13: \p Philosophers threads, \p TotalMeals meals in total.
+RunMetrics runDiningPhilosophers(DiningPhilosophersIface &D,
+                                 int Philosophers, int64_t TotalMeals);
+
+} // namespace autosynch::bench
+
+#endif // AUTOSYNCH_BENCH_SUPPORT_DRIVERS_H

@@ -1,0 +1,53 @@
+//===- bench_support/Table.cpp - Paper-style result tables -----------------===//
+//
+// Part of AutoSynch-C++, a reproduction of "AutoSynch: An Automatic-Signal
+// Monitor Based on Predicate Tagging" (Hung & Garg, PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench_support/Table.h"
+
+#include "support/Check.h"
+
+#include <cstdint>
+#include <cstdio>
+
+using namespace autosynch::bench;
+
+Table::Table(std::vector<std::string> Header) {
+  Rows.push_back(std::move(Header));
+}
+
+void Table::addRow(std::vector<std::string> Cells) {
+  AUTOSYNCH_CHECK(Cells.size() == Rows.front().size(),
+                  "table row width mismatch");
+  Rows.push_back(std::move(Cells));
+}
+
+void Table::print() const {
+  std::vector<size_t> Widths(Rows.front().size(), 0);
+  for (const auto &Row : Rows)
+    for (size_t C = 0; C != Row.size(); ++C)
+      Widths[C] = std::max(Widths[C], Row[C].size());
+
+  for (const auto &Row : Rows) {
+    for (size_t C = 0; C != Row.size(); ++C)
+      std::printf("%-*s%s", static_cast<int>(Widths[C]), Row[C].c_str(),
+                  C + 1 == Row.size() ? "" : "  ");
+    std::printf("\n");
+  }
+}
+
+std::string Table::fmtSeconds(double S) {
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%.3f", S);
+  return Buf;
+}
+
+std::string Table::fmtCount(uint64_t N) { return std::to_string(N); }
+
+std::string Table::fmtRatio(double R) {
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%.1fx", R);
+  return Buf;
+}

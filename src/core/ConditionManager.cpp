@@ -1,0 +1,277 @@
+//===- core/ConditionManager.cpp - The AutoSynch condition manager ---------===//
+//
+// Part of AutoSynch-C++, a reproduction of "AutoSynch: An Automatic-Signal
+// Monitor Based on Predicate Tagging" (Hung & Garg, PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/ConditionManager.h"
+
+#include "expr/Eval.h"
+#include "expr/Subst.h"
+
+using namespace autosynch;
+
+const char *autosynch::signalPolicyName(SignalPolicy P) {
+  switch (P) {
+  case SignalPolicy::Tagged:
+    return "tagged";
+  case SignalPolicy::LinearScan:
+    return "linear-scan";
+  case SignalPolicy::Broadcast:
+    return "broadcast";
+  }
+  AUTOSYNCH_UNREACHABLE("invalid SignalPolicy");
+}
+
+ConditionManager::ConditionManager(sync::Mutex &MonitorLock,
+                                   ExprArena &Arena, SymbolTable &Syms,
+                                   const Env &SharedEnv,
+                                   const MonitorConfig &Cfg)
+    : MonitorLock(MonitorLock), Arena(Arena), Syms(Syms),
+      SharedEnv(SharedEnv), Cfg(Cfg), Timers(Cfg.EnablePhaseTimers) {
+  if (Cfg.Policy == SignalPolicy::Broadcast)
+    BroadcastCond = MonitorLock.newCondition();
+}
+
+ConditionManager::~ConditionManager() {
+  AUTOSYNCH_CHECK(TotalWaiters == 0,
+                  "destroying a monitor with blocked waiters");
+}
+
+//===----------------------------------------------------------------------===//
+// Predicate evaluation
+//===----------------------------------------------------------------------===//
+
+bool ConditionManager::recordTrue(Record *R) {
+  if (Cfg.UseCompiledEval)
+    return R->Code.runBool(SharedEnv);
+  return evalBool(R->Canonical, SharedEnv);
+}
+
+//===----------------------------------------------------------------------===//
+// Registration, activation, and the inactive cache (§5.2)
+//===----------------------------------------------------------------------===//
+
+ConditionManager::Record *
+ConditionManager::lookupOrRegister(ExprRef Canonical, Dnf D) {
+  auto It = Table.find(Canonical);
+  if (It != Table.end()) {
+    if (!It->second->Active)
+      ++Stats.CacheReuses;
+    return It->second.get();
+  }
+
+  ++Stats.Registrations;
+  auto R = std::make_unique<Record>();
+  R->Canonical = Canonical;
+  R->D = std::move(D);
+  R->Tags = deriveTags(Arena, R->D, Syms);
+  R->Cond = MonitorLock.newCondition();
+  if (Cfg.UseCompiledEval)
+    R->Code = CompiledPredicate::compile(Canonical);
+  Record *Raw = R.get();
+  Table.emplace(Canonical, std::move(R));
+  // Newly registered predicates start parked; activate() revives them when
+  // the first waiter arrives.
+  park(Raw);
+  return Raw;
+}
+
+void ConditionManager::park(Record *R) {
+  R->LastUse = ++UseTick;
+  if (!R->InQueue) {
+    InactiveQueue.push_back(R);
+    R->InQueue = true;
+  }
+}
+
+void ConditionManager::activate(Record *R) {
+  if (R->Active)
+    return;
+  uint64_t T0 = Timers.start();
+  if (Cfg.Policy == SignalPolicy::Tagged)
+    for (const Tag &T : R->Tags)
+      Index.add(T, R);
+  ActivePos[R] = ActiveList.size();
+  ActiveList.push_back(R);
+  ++ActiveCount;
+  R->Active = true;
+  Timers.stop(PhaseTimers::TagMgmt, T0);
+}
+
+void ConditionManager::deactivate(Record *R) {
+  AUTOSYNCH_CHECK(R->Active, "deactivating an inactive record");
+  AUTOSYNCH_CHECK(R->Waiters == 0, "deactivating a record with waiters");
+  AUTOSYNCH_CHECK(R->PendingSignals == 0,
+                  "deactivating a record with an in-flight signal");
+  uint64_t T0 = Timers.start();
+  if (Cfg.Policy == SignalPolicy::Tagged)
+    for (const Tag &T : R->Tags)
+      Index.remove(T, R);
+  size_t Pos = ActivePos.at(R);
+  ActiveList[Pos] = ActiveList.back();
+  ActivePos[ActiveList.back()] = Pos;
+  ActiveList.pop_back();
+  ActivePos.erase(R);
+  --ActiveCount;
+  R->Active = false;
+  park(R);
+  Timers.stop(PhaseTimers::TagMgmt, T0);
+  evictIfNeeded();
+}
+
+void ConditionManager::evictIfNeeded() {
+  // Oldest-first eviction. A queue entry is stale when its record was
+  // revived after parking; such records are skipped (they re-enter the
+  // queue when they park again).
+  while (Table.size() - ActiveCount > Cfg.InactiveCacheLimit &&
+         !InactiveQueue.empty()) {
+    Record *R = InactiveQueue.front();
+    InactiveQueue.pop_front();
+    R->InQueue = false;
+    if (R->Active)
+      continue; // Revived while queued.
+    AUTOSYNCH_CHECK(R->Waiters == 0 && R->PendingSignals == 0,
+                    "evicting a record in use");
+    Table.erase(R->Canonical);
+    ++Stats.Evictions;
+  }
+}
+
+void ConditionManager::registerPredicate(ExprRef Pred) {
+  AUTOSYNCH_CHECK(!isComplex(Pred, Syms),
+                  "registerPredicate requires a shared predicate");
+  CanonicalPredicate CP = canonicalizePredicate(Arena, Pred, Cfg.Limits);
+  if (CP.D.isTrue() || CP.D.isFalse())
+    return;
+  lookupOrRegister(CP.Expr, std::move(CP.D));
+  evictIfNeeded();
+}
+
+//===----------------------------------------------------------------------===//
+// Relay signaling (§4.2)
+//===----------------------------------------------------------------------===//
+
+ConditionManager::Record *ConditionManager::linearScanFindTrue() {
+  for (Record *R : ActiveList) {
+    ++Stats.Search.PredicateChecks;
+    if (recordTrue(R))
+      return R;
+  }
+  return nullptr;
+}
+
+ConditionManager::Record *ConditionManager::taggedFindTrue() {
+  return Index.findTrue(
+      [&](ExprRef SharedExpr) { return eval(SharedExpr, SharedEnv).raw(); },
+      [&](Record *R) {
+        ++Stats.Search.PredicateChecks;
+        return recordTrue(R);
+      },
+      &Stats.Search);
+}
+
+void ConditionManager::relaySignal() {
+  uint64_t T0 = Timers.start();
+  ++Stats.RelayCalls;
+
+  if (Cfg.Policy == SignalPolicy::Broadcast) {
+    // Baseline: wake everyone; each waiter re-evaluates its own predicate.
+    if (BroadcastWaiters > 0) {
+      BroadcastCond->signalAll();
+      ++Stats.BroadcastSignals;
+    }
+    Timers.stop(PhaseTimers::Relay, T0);
+    return;
+  }
+
+  // A signaled thread that has not resumed yet is active (Definition 3);
+  // relay invariance already holds, and that thread will re-relay if its
+  // predicate has been falsified in the meantime.
+  if (PendingTotal > 0) {
+    ++Stats.RelaySkips;
+    Timers.stop(PhaseTimers::Relay, T0);
+    return;
+  }
+
+  Record *R = Cfg.Policy == SignalPolicy::Tagged ? taggedFindTrue()
+                                                 : linearScanFindTrue();
+  if (R) {
+    R->Cond->signal();
+    ++R->PendingSignals;
+    ++PendingTotal;
+    ++Stats.SignalsSent;
+  }
+  Timers.stop(PhaseTimers::Relay, T0);
+}
+
+//===----------------------------------------------------------------------===//
+// Waiting (paper Fig. 6)
+//===----------------------------------------------------------------------===//
+
+void ConditionManager::awaitBroadcast(ExprRef Pred, const Env &Locals) {
+  OverlayEnv Combined(Locals, SharedEnv);
+  bool Waited = false;
+  while (!evalBool(Pred, Combined)) {
+    if (!Waited) {
+      Waited = true;
+      ++Stats.Waits;
+    }
+    relaySignal(); // State may have changed since others last looked.
+    ++BroadcastWaiters;
+    ++TotalWaiters;
+    uint64_t T0 = Timers.start();
+    BroadcastCond->await();
+    Timers.stop(PhaseTimers::Await, T0);
+    --BroadcastWaiters;
+    --TotalWaiters;
+  }
+}
+
+void ConditionManager::await(ExprRef Pred, const Env &Locals) {
+  // Fast path: the condition already holds (Fig. 6 checks P first).
+  {
+    OverlayEnv Combined(Locals, SharedEnv);
+    if (evalBool(Pred, Combined))
+      return;
+  }
+
+  if (Cfg.Policy == SignalPolicy::Broadcast)
+    return awaitBroadcast(Pred, Locals);
+
+  // Globalization (§4.1): substitute the thread's locals so every other
+  // thread can evaluate the predicate on our behalf.
+  ExprRef G = isComplex(Pred, Syms) ? globalize(Arena, Pred, Syms, Locals)
+                                    : Pred;
+  CanonicalPredicate CP = canonicalizePredicate(Arena, G, Cfg.Limits);
+  if (CP.D.isTrue()) // Canonicalization may prove it (x >= x).
+    return;
+  AUTOSYNCH_CHECK(!CP.D.isFalse(),
+                  "waituntil on an unsatisfiable predicate would never "
+                  "return");
+
+  Record *R = lookupOrRegister(CP.Expr, std::move(CP.D));
+  activate(R);
+  ++R->Waiters;
+  ++TotalWaiters;
+  ++Stats.Waits;
+
+  while (true) {
+    if (recordTrue(R))
+      break;
+    relaySignal(); // Maintain the invariance before blocking.
+    uint64_t T0 = Timers.start();
+    R->Cond->await();
+    Timers.stop(PhaseTimers::Await, T0);
+    if (R->PendingSignals > 0) {
+      --R->PendingSignals;
+      --PendingTotal;
+    }
+  }
+
+  --R->Waiters;
+  --TotalWaiters;
+  if (R->Waiters == 0)
+    deactivate(R);
+}

@@ -1,0 +1,183 @@
+//===- core/ConditionManager.h - The AutoSynch condition manager -*- C++ -*-===//
+//
+// Part of AutoSynch-C++, a reproduction of "AutoSynch: An Automatic-Signal
+// Monitor Based on Predicate Tagging" (Hung & Garg, PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The condition manager (paper §5): it owns the predicate table, the
+/// per-predicate condition variables, the tag indices, and the inactive
+/// cache, and it implements the relay signaling rule (§4.2):
+///
+///   "When a thread exits a monitor or goes into waiting state, it checks
+///    whether there is some thread waiting on a condition that has become
+///    true. If at least one such waiting thread exists, it signals that
+///    thread."
+///
+/// Relay invariance bookkeeping: PendingSignals counts signaled-but-not-yet
+/// -resumed threads. Those threads are *active* by the paper's Definition 3
+/// ("not waiting ... or has been signaled"), so while one is in flight the
+/// relay scan is skipped — if the in-flight thread finds its predicate
+/// falsified it re-runs the relay itself, preserving the invariance chain
+/// of Proposition 2.
+///
+/// All member functions require the monitor lock to be held by the caller
+/// (the Monitor wrapper enforces this).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AUTOSYNCH_CORE_CONDITIONMANAGER_H
+#define AUTOSYNCH_CORE_CONDITIONMANAGER_H
+
+#include "core/MonitorConfig.h"
+#include "core/PhaseTimers.h"
+#include "expr/Bytecode.h"
+#include "expr/Env.h"
+#include "expr/SymbolTable.h"
+#include "tag/TagIndex.h"
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <unordered_map>
+
+namespace autosynch {
+
+/// Aggregate signaling statistics, exposed to tests and benches.
+struct ManagerStats {
+  uint64_t Waits = 0;         ///< await() calls that actually blocked.
+  uint64_t RelayCalls = 0;    ///< relaySignal() invocations.
+  uint64_t RelaySkips = 0;    ///< Relays skipped (a signal was in flight).
+  uint64_t SignalsSent = 0;   ///< Directed signals issued.
+  uint64_t BroadcastSignals = 0; ///< signalAll calls (Broadcast policy).
+  uint64_t Registrations = 0; ///< Predicates added to the table.
+  uint64_t CacheReuses = 0;   ///< Predicates revived from the inactive cache.
+  uint64_t Evictions = 0;     ///< Predicates evicted from the cache.
+  TagSearchStats Search;      ///< Tag-directed search work.
+};
+
+/// The per-monitor condition manager.
+class ConditionManager {
+public:
+  /// \p SharedEnv must resolve every Shared-scoped variable of \p Syms and
+  /// reflect the monitor's current state on each call (the Monitor's slot
+  /// environment does). All references must outlive the manager.
+  ConditionManager(sync::Mutex &MonitorLock, ExprArena &Arena,
+                   SymbolTable &Syms, const Env &SharedEnv,
+                   const MonitorConfig &Cfg);
+  ~ConditionManager();
+  ConditionManager(const ConditionManager &) = delete;
+  ConditionManager &operator=(const ConditionManager &) = delete;
+
+  /// Blocks the calling thread until \p Pred (which may mention local
+  /// variables bound in \p Locals) holds. Implements the paper's Fig. 6:
+  /// check, globalize, register, then relay-and-wait until true.
+  ///
+  /// Monitor lock must be held; it is released while blocked and re-held on
+  /// return. Fatal error if the predicate is canonically unsatisfiable
+  /// (the wait could never finish).
+  void await(ExprRef Pred, const Env &Locals);
+
+  /// The relay signaling rule; called on monitor exit and before blocking.
+  void relaySignal();
+
+  /// Eagerly registers \p Pred (no waiting), mirroring the paper's
+  /// constructor-time registration of static shared predicates (Fig. 5).
+  /// The predicate starts in the inactive cache and is revived on first
+  /// wait. Predicates that canonicalize to true/false are ignored.
+  void registerPredicate(ExprRef Pred);
+
+  //===--------------------------------------------------------------------===//
+  // Introspection
+  //===--------------------------------------------------------------------===//
+
+  const ManagerStats &stats() const { return Stats; }
+  void resetStats() { Stats = ManagerStats(); }
+
+  PhaseTimers &timers() { return Timers; }
+
+  /// Registered predicates (active + inactive).
+  size_t numRegistered() const { return Table.size(); }
+  /// Predicates with at least one waiter (tags registered in the index).
+  size_t numActive() const { return ActiveCount; }
+  /// Parked predicates available for reuse.
+  size_t inactiveCacheSize() const { return Table.size() - ActiveCount; }
+  /// Threads currently blocked in await().
+  int numWaiters() const { return TotalWaiters; }
+  /// Signals issued whose target has not resumed yet.
+  int pendingSignals() const { return PendingTotal; }
+
+private:
+  /// One registered (globalized, canonicalized) predicate.
+  struct Record {
+    ExprRef Canonical = nullptr;
+    Dnf D;
+    std::vector<Tag> Tags;
+    std::unique_ptr<sync::Condition> Cond;
+    CompiledPredicate Code;
+    int Waiters = 0;
+    int PendingSignals = 0;
+    bool Active = false;
+    /// Whether the record has an entry in InactiveQueue (at most one).
+    bool InQueue = false;
+    uint64_t LastUse = 0;
+  };
+
+  /// Parks \p R in the inactive queue for reuse or eventual eviction.
+  void park(Record *R);
+
+  Record *lookupOrRegister(ExprRef Canonical, Dnf D);
+  void activate(Record *R);
+  void deactivate(Record *R);
+  void evictIfNeeded();
+
+  /// Full predicate check under the current shared state.
+  bool recordTrue(Record *R);
+
+  /// Relay search under the LinearScan policy: evaluate active predicates
+  /// one by one.
+  Record *linearScanFindTrue();
+
+  /// Relay search under the Tagged policy (TagIndex::findTrue).
+  Record *taggedFindTrue();
+
+  void awaitBroadcast(ExprRef Pred, const Env &Locals);
+
+  sync::Mutex &MonitorLock;
+  ExprArena &Arena;
+  SymbolTable &Syms;
+  const Env &SharedEnv;
+  MonitorConfig Cfg;
+  PhaseTimers Timers;
+
+  /// Predicate table (§5.2): canonical predicate -> record. Pointer keys
+  /// work because canonical predicates are interned.
+  std::unordered_map<ExprRef, std::unique_ptr<Record>> Table;
+
+  /// Tag indices (Tagged policy).
+  TagIndex<Record> Index;
+
+  /// Active records, for the LinearScan policy and diagnostics.
+  std::vector<Record *> ActiveList;
+  std::unordered_map<Record *, size_t> ActivePos;
+  size_t ActiveCount = 0;
+
+  /// Inactive cache in parking order. Each record appears at most once
+  /// (Record::InQueue); revived records are skipped lazily on eviction.
+  std::deque<Record *> InactiveQueue;
+
+  /// Broadcast policy state.
+  std::unique_ptr<sync::Condition> BroadcastCond;
+  int BroadcastWaiters = 0;
+
+  int TotalWaiters = 0;
+  int PendingTotal = 0;
+  uint64_t UseTick = 0;
+
+  ManagerStats Stats;
+};
+
+} // namespace autosynch
+
+#endif // AUTOSYNCH_CORE_CONDITIONMANAGER_H

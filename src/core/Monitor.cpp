@@ -1,0 +1,139 @@
+//===- core/Monitor.cpp - The automatic-signal monitor ---------------------===//
+//
+// Part of AutoSynch-C++, a reproduction of "AutoSynch: An Automatic-Signal
+// Monitor Based on Predicate Tagging" (Hung & Garg, PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Monitor.h"
+
+#include "expr/Subst.h"
+#include "parse/PredicateParser.h"
+
+using namespace autosynch;
+
+Monitor::Monitor(MonitorConfig Config)
+    : Cfg(Config), Lock(Config.Backend), SharedSlots(Syms, Slots),
+      Mgr(Lock, Arena, Syms, SharedSlots, Cfg) {}
+
+Monitor::~Monitor() = default;
+
+//===----------------------------------------------------------------------===//
+// Shared-variable slots
+//===----------------------------------------------------------------------===//
+
+VarId Monitor::declareShared(std::string_view Name, TypeKind Ty) {
+  VarId Id = Syms.declare(Name, Ty, VarScope::Shared);
+  if (Slots.size() < Syms.size())
+    Slots.resize(Syms.size());
+  return Id;
+}
+
+Value Monitor::readSlot(VarId Id) const {
+  AUTOSYNCH_CHECK(ownedByCaller(),
+                  "shared variable read outside the monitor");
+  return Slots[Id];
+}
+
+void Monitor::writeSlot(VarId Id, Value V, bool RequireOwned) {
+  AUTOSYNCH_CHECK(!RequireOwned || ownedByCaller(),
+                  "shared variable write outside the monitor");
+  Slots[Id] = V;
+}
+
+//===----------------------------------------------------------------------===//
+// Mutual exclusion (reentrant monitor regions)
+//===----------------------------------------------------------------------===//
+
+void Monitor::enter() {
+  std::thread::id Me = std::this_thread::get_id();
+  if (Owner.load(std::memory_order_relaxed) == Me) {
+    ++Depth;
+    return;
+  }
+  uint64_t T0 = Mgr.timers().start();
+  Lock.lock();
+  Mgr.timers().stop(PhaseTimers::Lock, T0);
+  Owner.store(Me, std::memory_order_relaxed);
+  Depth = 1;
+}
+
+void Monitor::exit() {
+  AUTOSYNCH_CHECK(ownedByCaller(), "monitor exit by a non-owning thread");
+  if (--Depth > 0)
+    return;
+  // Relay signaling rule: on exit, hand the monitor to some thread whose
+  // condition has become true (paper §4.2).
+  Mgr.relaySignal();
+  Owner.store(std::thread::id(), std::memory_order_relaxed);
+  Lock.unlock();
+}
+
+//===----------------------------------------------------------------------===//
+// waituntil
+//===----------------------------------------------------------------------===//
+
+void Monitor::waitUntilImpl(ExprRef Pred, const Env &Locals) {
+  AUTOSYNCH_CHECK(ownedByCaller(), "waitUntil outside the monitor");
+  AUTOSYNCH_CHECK(Depth == 1,
+                  "waitUntil from a nested monitor region would deadlock");
+  std::thread::id Me = Owner.load(std::memory_order_relaxed);
+  // The wait releases the monitor lock; other threads own the monitor in
+  // the meantime, so ownership is cleared here and restored when the wait
+  // returns with the lock re-held.
+  Owner.store(std::thread::id(), std::memory_order_relaxed);
+  Mgr.await(Pred, Locals);
+  Owner.store(Me, std::memory_order_relaxed);
+}
+
+void Monitor::waitUntil(const ExprHandle &P) {
+  AUTOSYNCH_CHECK(&P.arena() == &Arena,
+                  "predicate built against a different monitor");
+  AUTOSYNCH_CHECK(P.type() == TypeKind::Bool,
+                  "waitUntil requires a bool predicate");
+  waitUntilImpl(P.ref(), EmptyEnv::instance());
+}
+
+void Monitor::waitUntil(std::string_view Pred) {
+  waitUntilImpl(parseCached(Pred), EmptyEnv::instance());
+}
+
+void Monitor::waitUntil(std::string_view Pred, const MapEnv &Locals) {
+  waitUntilImpl(parseCached(Pred), Locals);
+}
+
+ExprRef Monitor::parseCached(std::string_view Pred) {
+  std::string Key(Pred);
+  auto It = ParseCache.find(Key);
+  if (It != ParseCache.end())
+    return It->second;
+
+  PredicateParseOptions Options;
+  Options.AutoDeclareLocals = true;
+  PredicateParseResult R = parsePredicate(Pred, Arena, Syms, Options);
+  if (!R.ok()) {
+    std::string Msg = "waituntil predicate \"" + Key +
+                      "\": " + R.Error.toString();
+    fatalError(__FILE__, __LINE__, Msg.c_str());
+  }
+  ParseCache.emplace(std::move(Key), R.Expr);
+  return R.Expr;
+}
+
+VarId Monitor::local(std::string_view Name, TypeKind Ty) {
+  if (const VarInfo *Info = Syms.lookup(Name)) {
+    AUTOSYNCH_CHECK(Info->Scope == VarScope::Local,
+                    "local(): name already declared as a shared variable");
+    AUTOSYNCH_CHECK(Info->Type == Ty,
+                    "local(): redeclaration with a different type");
+    return Info->Id;
+  }
+  return Syms.declare(Name, Ty, VarScope::Local);
+}
+
+void Monitor::registerPredicate(std::string_view Pred) {
+  ExprRef E = parseCached(Pred);
+  AUTOSYNCH_CHECK(!isComplex(E, Syms),
+                  "registerPredicate requires a shared predicate");
+  Mgr.registerPredicate(E);
+}

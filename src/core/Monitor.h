@@ -1,0 +1,247 @@
+//===- core/Monitor.h - The automatic-signal monitor -----------*- C++ -*-===//
+//
+// Part of AutoSynch-C++, a reproduction of "AutoSynch: An Automatic-Signal
+// Monitor Based on Predicate Tagging" (Hung & Garg, PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The user-facing automatic-signal monitor: the C++ rendering of the
+/// paper's `AutoSynch class`. Derive from Monitor, declare monitor state as
+/// Shared<T> members, wrap each public method body in a Region, and block
+/// with waitUntil — no condition variables, no signal/signalAll:
+///
+/// \code
+///   class BoundedBuffer : public autosynch::Monitor {
+///   public:
+///     explicit BoundedBuffer(int64_t N) : Capacity(N) {}
+///
+///     void put(int64_t Items) {
+///       Region R(*this);
+///       waitUntil(Count + Items <= Capacity);   // EDSL predicate
+///       Count += Items;
+///     }
+///
+///     int64_t take(int64_t Num) {
+///       Region R(*this);
+///       waitUntil("count >= num", locals().bindInt(local("num"), Num));
+///       Count -= Num;
+///       return Num;
+///     }
+///
+///   private:
+///     Shared<int64_t> Count{*this, "count", 0};
+///     int64_t Capacity;
+///   };
+/// \endcode
+///
+/// Two predicate front ends with identical behaviour:
+///  * the EDSL (expression templates over Shared<T>): local values are
+///    baked in as literals — globalization done by construction;
+///  * parsed strings: locals stay symbolic, are parsed once (cached), and
+///    are globalized per call from the provided bindings — the path the
+///    autosynchc translator emits.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AUTOSYNCH_CORE_MONITOR_H
+#define AUTOSYNCH_CORE_MONITOR_H
+
+#include "core/ConditionManager.h"
+#include "expr/Builder.h"
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <type_traits>
+#include <unordered_map>
+#include <vector>
+
+namespace autosynch {
+
+namespace detail {
+
+/// Environment over the monitor's shared-variable slots; always reflects
+/// the current state.
+class SlotEnv final : public Env {
+public:
+  SlotEnv(const SymbolTable &Syms, const std::vector<Value> &Slots)
+      : Syms(Syms), Slots(Slots) {}
+
+  Value get(VarId Id) const override {
+    AUTOSYNCH_CHECK(has(Id), "unbound shared variable");
+    return Slots[Id];
+  }
+
+  bool has(VarId Id) const override {
+    return Id < Slots.size() && Syms.isShared(Id);
+  }
+
+private:
+  const SymbolTable &Syms;
+  const std::vector<Value> &Slots;
+};
+
+} // namespace detail
+
+/// Base class for automatic-signal monitors.
+class Monitor {
+public:
+  Monitor(const Monitor &) = delete;
+  Monitor &operator=(const Monitor &) = delete;
+
+  /// RAII monitor section: acquires the monitor lock on construction
+  /// (reentrant for the owning thread) and releases it — after running the
+  /// relay signaling rule — on destruction.
+  class Region {
+  public:
+    explicit Region(Monitor &M) : M(M) { M.enter(); }
+    ~Region() { M.exit(); }
+    Region(const Region &) = delete;
+    Region &operator=(const Region &) = delete;
+
+  private:
+    Monitor &M;
+  };
+
+  /// A shared monitor variable (paper Def. 1's set S). Reads and writes
+  /// require the calling thread to be inside the monitor.
+  template <typename T> class Shared {
+    static_assert(std::is_same_v<T, bool> ||
+                      (std::is_integral_v<T> && sizeof(T) <= 8),
+                  "Shared<T> supports bool and integral types up to 64 bits");
+
+  public:
+    Shared(Monitor &M, std::string_view Name, T Initial = T())
+        : M(M), Id(M.declareShared(Name, typeKind())) {
+      M.writeSlot(Id, toValue(Initial), /*RequireOwned=*/false);
+    }
+
+    /// Current value; caller must be inside the monitor.
+    T get() const { return fromValue(M.readSlot(Id)); }
+
+    void set(T V) { M.writeSlot(Id, toValue(V), /*RequireOwned=*/true); }
+
+    Shared &operator=(T V) {
+      set(V);
+      return *this;
+    }
+    Shared &operator+=(T V) {
+      set(static_cast<T>(get() + V));
+      return *this;
+    }
+    Shared &operator-=(T V) {
+      set(static_cast<T>(get() - V));
+      return *this;
+    }
+
+    /// The variable as an EDSL expression.
+    ExprHandle expr() const {
+      return ExprHandle(M.Arena, M.Arena.var(Id, typeKind()));
+    }
+    operator ExprHandle() const { return expr(); }
+
+    VarId id() const { return Id; }
+
+  private:
+    static constexpr TypeKind typeKind() {
+      return std::is_same_v<T, bool> ? TypeKind::Bool : TypeKind::Int;
+    }
+    static Value toValue(T V) {
+      if constexpr (std::is_same_v<T, bool>)
+        return Value::makeBool(V);
+      else
+        return Value::makeInt(static_cast<int64_t>(V));
+    }
+    static T fromValue(Value V) {
+      if constexpr (std::is_same_v<T, bool>)
+        return V.asBool();
+      else
+        return static_cast<T>(V.asInt());
+    }
+
+    Monitor &M;
+    VarId Id;
+  };
+
+  //===--------------------------------------------------------------------===//
+  // Introspection (tests and benches)
+  //===--------------------------------------------------------------------===//
+
+  ConditionManager &conditionManager() { return Mgr; }
+  ExprArena &arena() { return Arena; }
+  SymbolTable &symbols() { return Syms; }
+  const MonitorConfig &config() const { return Cfg; }
+
+protected:
+  explicit Monitor(MonitorConfig Config = {});
+  ~Monitor();
+
+  /// Blocks until the EDSL predicate \p P holds. Must be called inside the
+  /// monitor at region depth 1 (a wait from a nested region would deadlock
+  /// and is rejected). Fatal error if \p P is canonically unsatisfiable.
+  void waitUntil(const ExprHandle &P);
+
+  /// Blocks until the parsed predicate \p Pred (shared variables only)
+  /// holds. The parse is cached per source string.
+  void waitUntil(std::string_view Pred);
+
+  /// Blocks until parsed predicate \p Pred holds, with local variables
+  /// bound in \p Locals (globalized per call, paper §4.1).
+  void waitUntil(std::string_view Pred, const MapEnv &Locals);
+
+  /// Declares (or retrieves) a Local-scoped variable for use in parsed
+  /// predicates. Call during construction or while inside the monitor.
+  VarId local(std::string_view Name, TypeKind Ty = TypeKind::Int);
+
+  /// Fresh, empty local-bindings environment (sugar for call sites).
+  static MapEnv locals() { return MapEnv(); }
+
+  /// Integer literal in this monitor's arena (EDSL convenience).
+  ExprHandle lit(int64_t V) { return ExprHandle(Arena, Arena.intLit(V)); }
+  /// Boolean literal in this monitor's arena.
+  ExprHandle blit(bool V) { return ExprHandle(Arena, Arena.boolLit(V)); }
+
+  /// Eagerly registers a shared predicate (paper Fig. 5 registers all
+  /// static shared predicates in the constructor). Purely an optimization;
+  /// waits register on demand anyway.
+  void registerPredicate(std::string_view Pred);
+
+  /// Runs \p F inside the monitor.
+  template <typename Fn> auto synchronized(Fn &&F) {
+    Region R(*this);
+    return F();
+  }
+
+private:
+  template <typename> friend class Shared;
+
+  void enter();
+  void exit();
+  bool ownedByCaller() const {
+    return Owner.load(std::memory_order_relaxed) ==
+           std::this_thread::get_id();
+  }
+
+  VarId declareShared(std::string_view Name, TypeKind Ty);
+  Value readSlot(VarId Id) const;
+  void writeSlot(VarId Id, Value V, bool RequireOwned);
+
+  ExprRef parseCached(std::string_view Pred);
+  void waitUntilImpl(ExprRef Pred, const Env &Locals);
+
+  MonitorConfig Cfg;
+  sync::Mutex Lock;
+  ExprArena Arena;
+  SymbolTable Syms;
+  std::vector<Value> Slots;
+  detail::SlotEnv SharedSlots;
+  ConditionManager Mgr;
+  std::unordered_map<std::string, ExprRef> ParseCache;
+  std::atomic<std::thread::id> Owner{};
+  int Depth = 0;
+};
+
+} // namespace autosynch
+
+#endif // AUTOSYNCH_CORE_MONITOR_H

@@ -1,0 +1,36 @@
+//===- core/PhaseTimers.cpp - Per-phase CPU accounting (Table 1) -----------===//
+//
+// Part of AutoSynch-C++, a reproduction of "AutoSynch: An Automatic-Signal
+// Monitor Based on Predicate Tagging" (Hung & Garg, PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/PhaseTimers.h"
+
+#include "support/Check.h"
+
+#include <chrono>
+
+using namespace autosynch;
+
+const char *PhaseTimers::phaseName(Phase P) {
+  switch (P) {
+  case Lock:
+    return "lock";
+  case Await:
+    return "await";
+  case Relay:
+    return "relaySignal";
+  case TagMgmt:
+    return "tagMgr";
+  default:
+    AUTOSYNCH_UNREACHABLE("invalid phase");
+  }
+}
+
+uint64_t PhaseTimers::nowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}

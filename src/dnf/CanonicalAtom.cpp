@@ -1,0 +1,198 @@
+//===- dnf/CanonicalAtom.cpp - Canonical comparison atoms ------------------===//
+//
+// Part of AutoSynch-C++, a reproduction of "AutoSynch: An Automatic-Signal
+// Monitor Based on Predicate Tagging" (Hung & Garg, PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "dnf/CanonicalAtom.h"
+
+#include <numeric>
+
+using namespace autosynch;
+
+namespace {
+
+AtomCanonResult constResult(bool Truth) {
+  AtomCanonResult R;
+  R.Kind = Truth ? AtomCanonKind::True : AtomCanonKind::False;
+  return R;
+}
+
+AtomCanonResult opaque() { return AtomCanonResult(); }
+
+/// Floor division, exact for negative numerators.
+int64_t floorDiv(int64_t A, int64_t B) {
+  int64_t Q = A / B;
+  if ((A % B != 0) && ((A < 0) != (B < 0)))
+    --Q;
+  return Q;
+}
+
+/// Ceiling division, exact for negative numerators.
+int64_t ceilDiv(int64_t A, int64_t B) {
+  int64_t Q = A / B;
+  if ((A % B != 0) && ((A < 0) == (B < 0)))
+    ++Q;
+  return Q;
+}
+
+/// Evaluates `0 op K` for a constant-only comparison.
+bool constCompare(ExprKind Op, int64_t Lhs, int64_t Rhs) {
+  switch (Op) {
+  case ExprKind::Eq:
+    return Lhs == Rhs;
+  case ExprKind::Ne:
+    return Lhs != Rhs;
+  case ExprKind::Lt:
+    return Lhs < Rhs;
+  case ExprKind::Le:
+    return Lhs <= Rhs;
+  case ExprKind::Gt:
+    return Lhs > Rhs;
+  case ExprKind::Ge:
+    return Lhs >= Rhs;
+  default:
+    AUTOSYNCH_UNREACHABLE("constCompare on non-comparison");
+  }
+}
+
+} // namespace
+
+AtomCanonResult autosynch::canonicalizeAtom(ExprRef E) {
+  if (!isComparisonKind(E->kind()))
+    return opaque();
+  if (E->lhs()->type() != TypeKind::Int)
+    return opaque(); // Bool == / != bool stays opaque.
+
+  std::optional<LinearForm> L = LinearForm::of(E->lhs());
+  if (!L)
+    return opaque();
+  std::optional<LinearForm> R = LinearForm::of(E->rhs());
+  if (!R)
+    return opaque();
+
+  // Form (L - R) op 0, then move the constant right: terms op -const.
+  std::optional<LinearForm> Diff = L->sub(*R);
+  if (!Diff)
+    return opaque();
+  int64_t K;
+  if (__builtin_sub_overflow(static_cast<int64_t>(0), Diff->constant(), &K))
+    return opaque();
+
+  ExprKind Op = E->kind();
+
+  // Constant atom: fold.
+  if (Diff->isConstant())
+    return constResult(constCompare(Op, 0, K));
+
+  // Rewrite strict comparisons: x < K  ≡  x <= K-1;  x > K  ≡  x >= K+1.
+  if (Op == ExprKind::Lt) {
+    if (K == INT64_MIN)
+      return constResult(false); // Nothing is < INT64_MIN.
+    Op = ExprKind::Le;
+    --K;
+  } else if (Op == ExprKind::Gt) {
+    if (K == INT64_MAX)
+      return constResult(false); // Nothing is > INT64_MAX.
+    Op = ExprKind::Ge;
+    ++K;
+  }
+
+  // Pure-variable linear form (constant already moved).
+  LinearForm Terms = *Diff;
+  {
+    std::optional<LinearForm> NoConst =
+        Terms.sub(LinearForm::constantForm(Terms.constant()));
+    AUTOSYNCH_CHECK(NoConst.has_value(),
+                    "removing a constant cannot overflow");
+    Terms = *NoConst;
+  }
+
+  // Positive leading coefficient: negate everything and flip Le/Ge.
+  if (Terms.terms().front().second < 0) {
+    std::optional<LinearForm> Negated = Terms.negate();
+    if (!Negated)
+      return opaque(); // INT64_MIN coefficient; give up rather than lie.
+    int64_t NegK;
+    if (__builtin_sub_overflow(static_cast<int64_t>(0), K, &NegK))
+      return opaque();
+    Terms = *Negated;
+    K = NegK;
+    if (Op == ExprKind::Le)
+      Op = ExprKind::Ge;
+    else if (Op == ExprKind::Ge)
+      Op = ExprKind::Le;
+  }
+
+  // gcd-reduce coefficients with an integer-exact bound adjustment.
+  uint64_t G = 0;
+  for (const LinearForm::Term &T : Terms.terms())
+    G = std::gcd(G, static_cast<uint64_t>(T.second < 0
+                                              ? -static_cast<uint64_t>(T.second)
+                                              : static_cast<uint64_t>(
+                                                    T.second)));
+  AUTOSYNCH_CHECK(G > 0, "gcd of a non-constant form is positive");
+  if (G > 1 && G <= static_cast<uint64_t>(INT64_MAX)) {
+    int64_t Gs = static_cast<int64_t>(G);
+    switch (Op) {
+    case ExprKind::Eq:
+      if (K % Gs != 0)
+        return constResult(false); // g*expr == K unsolvable.
+      K /= Gs;
+      break;
+    case ExprKind::Ne:
+      if (K % Gs != 0)
+        return constResult(true); // g*expr != K always holds.
+      K /= Gs;
+      break;
+    case ExprKind::Le:
+      K = floorDiv(K, Gs); // g*expr <= K  ≡  expr <= floor(K/g).
+      break;
+    case ExprKind::Ge:
+      K = ceilDiv(K, Gs); // g*expr >= K  ≡  expr >= ceil(K/g).
+      break;
+    default:
+      AUTOSYNCH_UNREACHABLE("strict op survived canonicalization");
+    }
+    // Divide coefficients exactly.
+    LinearForm Divided;
+    for (const LinearForm::Term &T : Terms.terms()) {
+      std::optional<LinearForm> Part =
+          LinearForm::variableForm(T.first).scale(T.second / Gs);
+      AUTOSYNCH_CHECK(Part.has_value(), "gcd division cannot overflow");
+      std::optional<LinearForm> Sum = Divided.add(*Part);
+      AUTOSYNCH_CHECK(Sum.has_value(), "gcd division cannot overflow");
+      Divided = *Sum;
+    }
+    Terms = Divided;
+  }
+
+  AtomCanonResult Result;
+  Result.Kind = AtomCanonKind::Atom;
+  Result.Atom.Lhs = Terms;
+  Result.Atom.Op = Op;
+  Result.Atom.Rhs = K;
+  return Result;
+}
+
+ExprRef autosynch::linearFormToExpr(ExprArena &Arena, const LinearForm &F) {
+  ExprRef Sum = nullptr;
+  for (const LinearForm::Term &T : F.terms()) {
+    ExprRef V = Arena.var(T.first, TypeKind::Int);
+    ExprRef TermExpr =
+        T.second == 1 ? V : Arena.binary(ExprKind::Mul, Arena.intLit(T.second), V);
+    Sum = Sum ? Arena.binary(ExprKind::Add, Sum, TermExpr) : TermExpr;
+  }
+  if (!Sum)
+    return Arena.intLit(F.constant());
+  if (F.constant() != 0)
+    Sum = Arena.binary(ExprKind::Add, Sum, Arena.intLit(F.constant()));
+  return Sum;
+}
+
+ExprRef autosynch::canonicalAtomToExpr(ExprArena &Arena,
+                                       const CanonicalAtom &A) {
+  return Arena.binary(A.Op, linearFormToExpr(Arena, A.Lhs),
+                      Arena.intLit(A.Rhs));
+}

@@ -1,0 +1,73 @@
+//===- dnf/CanonicalAtom.h - Canonical comparison atoms --------*- C++ -*-===//
+//
+// Part of AutoSynch-C++, a reproduction of "AutoSynch: An Automatic-Signal
+// Monitor Based on Predicate Tagging" (Hung & Garg, PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Canonicalization of comparison atoms into `linear-form op constant`.
+/// This implements (and strengthens) the paper's §4.3 rearrangement: after
+/// globalization, `count >= 48`, `48 <= count`, and `2*count >= 96` all
+/// canonicalize to the same atom, maximizing sharing in the predicate table
+/// and enabling equivalence/threshold tagging.
+///
+/// Canonical form over int64:
+///  * ops restricted to {==, !=, <=, >=} (strict < and > are rewritten with
+///    +/-1, exact over the integers);
+///  * constant moved entirely to the right-hand side;
+///  * leading (lowest-VarId) coefficient positive;
+///  * coefficients gcd-reduced with integer-exact rounding of the bound.
+///
+/// Caveat: canonicalization reasons over mathematical integers while
+/// evaluation wraps at 64 bits. Predicates whose runtime values approach
+/// INT64_MAX may change meaning; monitor predicates (counts, indices,
+/// tickets) never do, and the library documents this bound.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AUTOSYNCH_DNF_CANONICALATOM_H
+#define AUTOSYNCH_DNF_CANONICALATOM_H
+
+#include "dnf/LinearForm.h"
+#include "expr/ExprArena.h"
+
+namespace autosynch {
+
+/// A canonicalized comparison `Lhs op Rhs` where Lhs is a pure-variable
+/// linear form (constant 0) and Op is Eq, Ne, Le, or Ge.
+struct CanonicalAtom {
+  LinearForm Lhs;
+  ExprKind Op = ExprKind::Eq;
+  int64_t Rhs = 0;
+};
+
+/// Outcome of canonicalizing one atom.
+enum class AtomCanonKind : uint8_t {
+  True,  ///< Atom is constantly true (e.g. x - x >= -1).
+  False, ///< Atom is constantly false.
+  Atom,  ///< Canonicalized; see Atom field.
+  Opaque ///< Not a linear integer comparison; left untouched.
+};
+
+struct AtomCanonResult {
+  AtomCanonKind Kind = AtomCanonKind::Opaque;
+  CanonicalAtom Atom;
+};
+
+/// Canonicalizes \p E if it is a comparison between linear int expressions;
+/// returns Opaque otherwise (boolean atoms, non-linear arithmetic).
+AtomCanonResult canonicalizeAtom(ExprRef E);
+
+/// Rebuilds the expression form of \p A (interned in \p Arena):
+/// `c1*v1 + c2*v2 + ... op K` with terms in VarId order and unit
+/// coefficients elided.
+ExprRef canonicalAtomToExpr(ExprArena &Arena, const CanonicalAtom &A);
+
+/// Rebuilds just the linear-form side (no comparison), used as the tag's
+/// shared expression.
+ExprRef linearFormToExpr(ExprArena &Arena, const LinearForm &F);
+
+} // namespace autosynch
+
+#endif // AUTOSYNCH_DNF_CANONICALATOM_H

@@ -1,0 +1,117 @@
+//===- dnf/LinearForm.cpp - Linear combinations over variables -------------===//
+//
+// Part of AutoSynch-C++, a reproduction of "AutoSynch: An Automatic-Signal
+// Monitor Based on Predicate Tagging" (Hung & Garg, PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "dnf/LinearForm.h"
+
+using namespace autosynch;
+
+namespace {
+
+bool addOv(int64_t A, int64_t B, int64_t &Out) {
+  return __builtin_add_overflow(A, B, &Out);
+}
+
+bool mulOv(int64_t A, int64_t B, int64_t &Out) {
+  return __builtin_mul_overflow(A, B, &Out);
+}
+
+} // namespace
+
+std::optional<LinearForm> LinearForm::add(const LinearForm &Rhs) const {
+  LinearForm Out;
+  if (addOv(Const, Rhs.Const, Out.Const))
+    return std::nullopt;
+
+  // Merge the two sorted term lists, summing coefficients of equal vars.
+  size_t I = 0, J = 0;
+  while (I != TermList.size() || J != Rhs.TermList.size()) {
+    if (J == Rhs.TermList.size() ||
+        (I != TermList.size() && TermList[I].first < Rhs.TermList[J].first)) {
+      Out.TermList.push_back(TermList[I++]);
+      continue;
+    }
+    if (I == TermList.size() || Rhs.TermList[J].first < TermList[I].first) {
+      Out.TermList.push_back(Rhs.TermList[J++]);
+      continue;
+    }
+    int64_t C;
+    if (addOv(TermList[I].second, Rhs.TermList[J].second, C))
+      return std::nullopt;
+    if (C != 0)
+      Out.TermList.push_back({TermList[I].first, C});
+    ++I;
+    ++J;
+  }
+  return Out;
+}
+
+std::optional<LinearForm> LinearForm::sub(const LinearForm &Rhs) const {
+  std::optional<LinearForm> Neg = Rhs.negate();
+  if (!Neg)
+    return std::nullopt;
+  return add(*Neg);
+}
+
+std::optional<LinearForm> LinearForm::scale(int64_t K) const {
+  if (K == 0)
+    return LinearForm();
+  LinearForm Out;
+  if (mulOv(Const, K, Out.Const))
+    return std::nullopt;
+  Out.TermList.reserve(TermList.size());
+  for (const Term &T : TermList) {
+    int64_t C;
+    if (mulOv(T.second, K, C))
+      return std::nullopt;
+    Out.TermList.push_back({T.first, C});
+  }
+  return Out;
+}
+
+std::optional<LinearForm> LinearForm::of(ExprRef E) {
+  AUTOSYNCH_CHECK(E->type() == TypeKind::Int,
+                  "LinearForm::of requires an int-typed expression");
+  switch (E->kind()) {
+  case ExprKind::IntLit:
+    return constantForm(E->intValue());
+  case ExprKind::Var:
+    return variableForm(E->varId());
+  case ExprKind::Neg: {
+    std::optional<LinearForm> Op = of(E->lhs());
+    if (!Op)
+      return std::nullopt;
+    return Op->negate();
+  }
+  case ExprKind::Add:
+  case ExprKind::Sub: {
+    std::optional<LinearForm> L = of(E->lhs());
+    if (!L)
+      return std::nullopt;
+    std::optional<LinearForm> R = of(E->rhs());
+    if (!R)
+      return std::nullopt;
+    return E->kind() == ExprKind::Add ? L->add(*R) : L->sub(*R);
+  }
+  case ExprKind::Mul: {
+    std::optional<LinearForm> L = of(E->lhs());
+    if (!L)
+      return std::nullopt;
+    std::optional<LinearForm> R = of(E->rhs());
+    if (!R)
+      return std::nullopt;
+    // Linear only when one side is constant.
+    if (L->isConstant())
+      return R->scale(L->constant());
+    if (R->isConstant())
+      return L->scale(R->constant());
+    return std::nullopt;
+  }
+  default:
+    // Div and Mod are non-linear over the integers.
+    return std::nullopt;
+  }
+}

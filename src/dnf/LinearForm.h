@@ -1,0 +1,81 @@
+//===- dnf/LinearForm.h - Linear combinations over variables ---*- C++ -*-===//
+//
+// Part of AutoSynch-C++, a reproduction of "AutoSynch: An Automatic-Signal
+// Monitor Based on Predicate Tagging" (Hung & Garg, PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Symbolic linear forms c1*v1 + ... + cn*vn + k extracted from int-typed
+/// expressions. The paper (§4.3) rearranges predicates like
+/// `x - a = y + b` into `x - y = a + b` so they become equivalence or
+/// threshold predicates; linear forms are the mechanism. Extraction uses
+/// overflow-checked arithmetic and reports non-linear (or overflowing)
+/// expressions as unrepresentable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AUTOSYNCH_DNF_LINEARFORM_H
+#define AUTOSYNCH_DNF_LINEARFORM_H
+
+#include "expr/Expr.h"
+
+#include <optional>
+#include <utility>
+#include <vector>
+
+namespace autosynch {
+
+/// A linear combination of variables plus a constant. Terms are sorted by
+/// VarId and never have zero coefficients.
+class LinearForm {
+public:
+  using Term = std::pair<VarId, int64_t>;
+
+  /// The zero form.
+  LinearForm() = default;
+
+  /// Extracts a linear form from int-typed \p E, or nullopt when E is
+  /// non-linear (Mul of two variables, Div, Mod) or coefficient arithmetic
+  /// would overflow int64.
+  static std::optional<LinearForm> of(ExprRef E);
+
+  /// A constant form.
+  static LinearForm constantForm(int64_t K) {
+    LinearForm F;
+    F.Const = K;
+    return F;
+  }
+
+  /// A single-variable form (coefficient 1).
+  static LinearForm variableForm(VarId Id) {
+    LinearForm F;
+    F.TermList.push_back({Id, 1});
+    return F;
+  }
+
+  const std::vector<Term> &terms() const { return TermList; }
+  int64_t constant() const { return Const; }
+  bool isConstant() const { return TermList.empty(); }
+
+  /// this + Rhs, or nullopt on overflow.
+  std::optional<LinearForm> add(const LinearForm &Rhs) const;
+  /// this - Rhs, or nullopt on overflow.
+  std::optional<LinearForm> sub(const LinearForm &Rhs) const;
+  /// this * K, or nullopt on overflow.
+  std::optional<LinearForm> scale(int64_t K) const;
+  /// -this, or nullopt on overflow.
+  std::optional<LinearForm> negate() const { return scale(-1); }
+
+  bool operator==(const LinearForm &Rhs) const {
+    return Const == Rhs.Const && TermList == Rhs.TermList;
+  }
+
+private:
+  std::vector<Term> TermList;
+  int64_t Const = 0;
+};
+
+} // namespace autosynch
+
+#endif // AUTOSYNCH_DNF_LINEARFORM_H

@@ -1,0 +1,107 @@
+//===- expr/Builder.h - Expression-building EDSL ---------------*- C++ -*-===//
+//
+// Part of AutoSynch-C++, a reproduction of "AutoSynch: An Automatic-Signal
+// Monitor Based on Predicate Tagging" (Hung & Garg, PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Operator-overloading front end for building predicate ASTs in C++:
+///
+/// \code
+///   ExprHandle Count = ...;              // from a Shared<int> member
+///   waitUntil(Count + Items <= Cap);     // builds Le(Add(count,48), cap)
+/// \endcode
+///
+/// Local values appear as literals (the C++ analogue of the paper's
+/// globalization: the waiting thread captures its locals at waituntil time).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AUTOSYNCH_EXPR_BUILDER_H
+#define AUTOSYNCH_EXPR_BUILDER_H
+
+#include "expr/ExprArena.h"
+
+namespace autosynch {
+
+/// A reference to an interned expression plus the arena to extend it in.
+class ExprHandle {
+public:
+  ExprHandle(ExprArena &Arena, ExprRef E) : Arena(&Arena), E(E) {
+    AUTOSYNCH_CHECK(E != nullptr, "null expression in ExprHandle");
+  }
+
+  ExprRef ref() const { return E; }
+  ExprArena &arena() const { return *Arena; }
+  TypeKind type() const { return E->type(); }
+
+private:
+  ExprArena *Arena;
+  ExprRef E;
+};
+
+/// Integer literal handle.
+inline ExprHandle lit(ExprArena &Arena, int64_t V) {
+  return ExprHandle(Arena, Arena.intLit(V));
+}
+
+/// Boolean literal handle.
+inline ExprHandle blit(ExprArena &Arena, bool V) {
+  return ExprHandle(Arena, Arena.boolLit(V));
+}
+
+namespace detail {
+
+inline ExprHandle buildBinary(ExprKind K, const ExprHandle &L,
+                              const ExprHandle &R) {
+  AUTOSYNCH_CHECK(&L.arena() == &R.arena(),
+                  "mixing expressions from different arenas");
+  return ExprHandle(L.arena(), L.arena().binary(K, L.ref(), R.ref()));
+}
+
+} // namespace detail
+
+#define AUTOSYNCH_BUILDER_BINOP(Sym, Kind)                                    \
+  inline ExprHandle operator Sym(const ExprHandle &L, const ExprHandle &R) {  \
+    return detail::buildBinary(ExprKind::Kind, L, R);                         \
+  }                                                                           \
+  inline ExprHandle operator Sym(const ExprHandle &L, int64_t R) {            \
+    return detail::buildBinary(ExprKind::Kind, L, lit(L.arena(), R));         \
+  }                                                                           \
+  inline ExprHandle operator Sym(int64_t L, const ExprHandle &R) {            \
+    return detail::buildBinary(ExprKind::Kind, lit(R.arena(), L), R);         \
+  }
+
+AUTOSYNCH_BUILDER_BINOP(+, Add)
+AUTOSYNCH_BUILDER_BINOP(-, Sub)
+AUTOSYNCH_BUILDER_BINOP(*, Mul)
+AUTOSYNCH_BUILDER_BINOP(/, Div)
+AUTOSYNCH_BUILDER_BINOP(%, Mod)
+AUTOSYNCH_BUILDER_BINOP(==, Eq)
+AUTOSYNCH_BUILDER_BINOP(!=, Ne)
+AUTOSYNCH_BUILDER_BINOP(<, Lt)
+AUTOSYNCH_BUILDER_BINOP(<=, Le)
+AUTOSYNCH_BUILDER_BINOP(>, Gt)
+AUTOSYNCH_BUILDER_BINOP(>=, Ge)
+
+#undef AUTOSYNCH_BUILDER_BINOP
+
+/// Logical connectives. Note: these build an AST; there is no short-circuit
+/// at build time (evaluation short-circuits).
+inline ExprHandle operator&&(const ExprHandle &L, const ExprHandle &R) {
+  return detail::buildBinary(ExprKind::And, L, R);
+}
+inline ExprHandle operator||(const ExprHandle &L, const ExprHandle &R) {
+  return detail::buildBinary(ExprKind::Or, L, R);
+}
+inline ExprHandle operator!(const ExprHandle &H) {
+  return ExprHandle(H.arena(), H.arena().unary(ExprKind::Not, H.ref()));
+}
+inline ExprHandle operator-(const ExprHandle &H) {
+  return ExprHandle(H.arena(), H.arena().unary(ExprKind::Neg, H.ref()));
+}
+
+} // namespace autosynch
+
+#endif // AUTOSYNCH_EXPR_BUILDER_H

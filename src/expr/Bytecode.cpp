@@ -1,0 +1,236 @@
+//===- expr/Bytecode.cpp - Compiled predicate evaluation -------------------===//
+//
+// Part of AutoSynch-C++, a reproduction of "AutoSynch: An Automatic-Signal
+// Monitor Based on Predicate Tagging" (Hung & Garg, PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "expr/Bytecode.h"
+
+#include <cstdint>
+
+using namespace autosynch;
+
+//===----------------------------------------------------------------------===//
+// Compilation
+//===----------------------------------------------------------------------===//
+
+class CompiledPredicate::Compiler {
+public:
+  explicit Compiler(CompiledPredicate &P) : P(P) {}
+
+  void compile(ExprRef E) {
+    emitExpr(E);
+    P.ResultType = E->type();
+    P.MaxStack = MaxDepth;
+  }
+
+private:
+  void emitExpr(ExprRef E) {
+    switch (E->kind()) {
+    case ExprKind::IntLit:
+      emitPush(E->intValue());
+      return;
+    case ExprKind::BoolLit:
+      emitPush(E->boolValue() ? 1 : 0);
+      return;
+    case ExprKind::Var:
+      emit({OpCode::LoadVar, E->varId(), 0});
+      push();
+      return;
+    case ExprKind::Neg:
+      emitExpr(E->lhs());
+      emit({OpCode::Neg, 0, 0});
+      return;
+    case ExprKind::Not:
+      emitExpr(E->lhs());
+      emit({OpCode::Not, 0, 0});
+      return;
+    case ExprKind::And:
+    case ExprKind::Or: {
+      // Short-circuit: evaluate LHS; if it already decides the result,
+      // jump over the RHS keeping the LHS value as the result.
+      emitExpr(E->lhs());
+      OpCode Jump = E->kind() == ExprKind::And ? OpCode::JumpFalsePeek
+                                               : OpCode::JumpTruePeek;
+      size_t Patch = P.Code.size();
+      emit({Jump, 0, 0});
+      emit({OpCode::Pop, 0, 0});
+      pop();
+      emitExpr(E->rhs());
+      P.Code[Patch].A = static_cast<uint32_t>(P.Code.size());
+      return;
+    }
+    default:
+      break;
+    }
+
+    emitExpr(E->lhs());
+    emitExpr(E->rhs());
+    OpCode Op;
+    switch (E->kind()) {
+    case ExprKind::Add:
+      Op = OpCode::Add;
+      break;
+    case ExprKind::Sub:
+      Op = OpCode::Sub;
+      break;
+    case ExprKind::Mul:
+      Op = OpCode::Mul;
+      break;
+    case ExprKind::Div:
+      Op = OpCode::Div;
+      break;
+    case ExprKind::Mod:
+      Op = OpCode::Mod;
+      break;
+    case ExprKind::Eq:
+      Op = OpCode::Eq;
+      break;
+    case ExprKind::Ne:
+      Op = OpCode::Ne;
+      break;
+    case ExprKind::Lt:
+      Op = OpCode::Lt;
+      break;
+    case ExprKind::Le:
+      Op = OpCode::Le;
+      break;
+    case ExprKind::Gt:
+      Op = OpCode::Gt;
+      break;
+    case ExprKind::Ge:
+      Op = OpCode::Ge;
+      break;
+    default:
+      AUTOSYNCH_UNREACHABLE("invalid binary kind in bytecode compiler");
+    }
+    emit({Op, 0, 0});
+    pop(); // Two operands popped, one result pushed.
+  }
+
+  void emitPush(int64_t V) {
+    emit({OpCode::PushImm, 0, V});
+    push();
+  }
+
+  void emit(Instr I) { P.Code.push_back(I); }
+
+  void push() {
+    if (++Depth > MaxDepth)
+      MaxDepth = Depth;
+  }
+  void pop() {
+    AUTOSYNCH_CHECK(Depth > 0, "bytecode compiler stack underflow");
+    --Depth;
+  }
+
+  CompiledPredicate &P;
+  unsigned Depth = 0;
+  unsigned MaxDepth = 0;
+};
+
+CompiledPredicate CompiledPredicate::compile(ExprRef E) {
+  CompiledPredicate P;
+  Compiler(P).compile(E);
+  return P;
+}
+
+//===----------------------------------------------------------------------===//
+// Execution
+//===----------------------------------------------------------------------===//
+
+static int64_t wrap(uint64_t V) { return static_cast<int64_t>(V); }
+
+Value CompiledPredicate::run(const Env &Bindings) const {
+  AUTOSYNCH_CHECK(valid(), "running an empty CompiledPredicate");
+
+  // Predicates are small; a fixed stack avoids allocation on the relay path.
+  constexpr unsigned StackCap = 256;
+  AUTOSYNCH_CHECK(MaxStack <= StackCap, "predicate too deep for VM stack");
+  int64_t Stack[StackCap];
+  unsigned Top = 0; // Next free slot.
+
+  for (size_t Pc = 0; Pc != Code.size(); ++Pc) {
+    const Instr &I = Code[Pc];
+    switch (I.Op) {
+    case OpCode::PushImm:
+      Stack[Top++] = I.Imm;
+      break;
+    case OpCode::LoadVar:
+      Stack[Top++] = Bindings.get(I.A).raw();
+      break;
+    case OpCode::Neg:
+      Stack[Top - 1] = wrap(-static_cast<uint64_t>(Stack[Top - 1]));
+      break;
+    case OpCode::Not:
+      Stack[Top - 1] = Stack[Top - 1] == 0 ? 1 : 0;
+      break;
+    case OpCode::JumpFalsePeek:
+      if (Stack[Top - 1] == 0)
+        Pc = I.A - 1; // -1: the loop increments.
+      break;
+    case OpCode::JumpTruePeek:
+      if (Stack[Top - 1] != 0)
+        Pc = I.A - 1;
+      break;
+    case OpCode::Pop:
+      --Top;
+      break;
+    default: {
+      int64_t B = Stack[--Top];
+      int64_t A = Stack[Top - 1];
+      int64_t R;
+      switch (I.Op) {
+      case OpCode::Add:
+        R = wrap(static_cast<uint64_t>(A) + static_cast<uint64_t>(B));
+        break;
+      case OpCode::Sub:
+        R = wrap(static_cast<uint64_t>(A) - static_cast<uint64_t>(B));
+        break;
+      case OpCode::Mul:
+        R = wrap(static_cast<uint64_t>(A) * static_cast<uint64_t>(B));
+        break;
+      case OpCode::Div:
+        AUTOSYNCH_CHECK(B != 0, "division by zero in compiled predicate");
+        AUTOSYNCH_CHECK(!(A == INT64_MIN && B == -1),
+                        "INT64_MIN / -1 overflow in compiled predicate");
+        R = A / B;
+        break;
+      case OpCode::Mod:
+        AUTOSYNCH_CHECK(B != 0, "modulo by zero in compiled predicate");
+        AUTOSYNCH_CHECK(!(A == INT64_MIN && B == -1),
+                        "INT64_MIN % -1 overflow in compiled predicate");
+        R = A % B;
+        break;
+      case OpCode::Eq:
+        R = A == B;
+        break;
+      case OpCode::Ne:
+        R = A != B;
+        break;
+      case OpCode::Lt:
+        R = A < B;
+        break;
+      case OpCode::Le:
+        R = A <= B;
+        break;
+      case OpCode::Gt:
+        R = A > B;
+        break;
+      case OpCode::Ge:
+        R = A >= B;
+        break;
+      default:
+        AUTOSYNCH_UNREACHABLE("invalid opcode");
+      }
+      Stack[Top - 1] = R;
+      break;
+    }
+    }
+  }
+
+  AUTOSYNCH_CHECK(Top == 1, "bytecode left a malformed stack");
+  return ResultType == TypeKind::Bool ? Value::makeBool(Stack[0] != 0)
+                                      : Value::makeInt(Stack[0]);
+}

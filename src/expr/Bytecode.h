@@ -1,0 +1,89 @@
+//===- expr/Bytecode.h - Compiled predicate evaluation ---------*- C++ -*-===//
+//
+// Part of AutoSynch-C++, a reproduction of "AutoSynch: An Automatic-Signal
+// Monitor Based on Predicate Tagging" (Hung & Garg, PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Stack-machine compilation of predicate expressions. The condition
+/// manager evaluates registered predicates on every relay-signal scan
+/// (the paper's "predicate evaluation" cost, §1); compiling a registered
+/// predicate once and running flat bytecode avoids repeated tree walks.
+/// Semantics are identical to expr/Eval.h, including short-circuiting of
+/// && and || via conditional jumps (verified by property tests).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AUTOSYNCH_EXPR_BYTECODE_H
+#define AUTOSYNCH_EXPR_BYTECODE_H
+
+#include "expr/Env.h"
+#include "expr/Expr.h"
+
+#include <vector>
+
+namespace autosynch {
+
+/// A flat, relocatable predicate program.
+class CompiledPredicate {
+public:
+  /// An empty program; valid() is false and run() is a fatal error.
+  CompiledPredicate() = default;
+
+  /// Compiles \p E. The program embeds VarIds, not values, so one program
+  /// serves every evaluation environment.
+  static CompiledPredicate compile(ExprRef E);
+
+  bool valid() const { return !Code.empty(); }
+
+  /// Executes the program under \p Bindings.
+  Value run(const Env &Bindings) const;
+
+  /// Executes a bool-typed program. Fatal error for int-typed programs.
+  bool runBool(const Env &Bindings) const {
+    return run(Bindings).asBool();
+  }
+
+  TypeKind resultType() const { return ResultType; }
+  size_t numInstructions() const { return Code.size(); }
+  unsigned maxStackDepth() const { return MaxStack; }
+
+private:
+  enum class OpCode : uint8_t {
+    PushImm, ///< push Imm
+    LoadVar, ///< push Bindings.get(A).raw()
+    Neg,
+    Not,
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Mod,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    JumpFalsePeek, ///< if top == 0, jump to A (top stays — short-circuit &&)
+    JumpTruePeek,  ///< if top != 0, jump to A (top stays — short-circuit ||)
+    Pop
+  };
+
+  struct Instr {
+    OpCode Op;
+    uint32_t A = 0;   ///< VarId or jump target.
+    int64_t Imm = 0;  ///< PushImm payload.
+  };
+
+  class Compiler;
+
+  std::vector<Instr> Code;
+  TypeKind ResultType = TypeKind::Bool;
+  unsigned MaxStack = 0;
+};
+
+} // namespace autosynch
+
+#endif // AUTOSYNCH_EXPR_BYTECODE_H

@@ -1,0 +1,104 @@
+//===- expr/Env.h - Variable-binding environments --------------*- C++ -*-===//
+//
+// Part of AutoSynch-C++, a reproduction of "AutoSynch: An Automatic-Signal
+// Monitor Based on Predicate Tagging" (Hung & Garg, PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Environments bind VarIds to runtime Values during predicate evaluation.
+/// The monitor supplies a shared-variable environment (its Shared<T> slots);
+/// waituntil callers supply a local environment for globalization.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AUTOSYNCH_EXPR_ENV_H
+#define AUTOSYNCH_EXPR_ENV_H
+
+#include "expr/Var.h"
+
+#include <unordered_map>
+
+namespace autosynch {
+
+/// Abstract binding of VarIds to Values.
+class Env {
+public:
+  virtual ~Env() = default;
+
+  /// Returns the value bound to \p Id. Fatal error when unbound — an
+  /// evaluated predicate must never mention an unbound variable.
+  virtual Value get(VarId Id) const = 0;
+
+  /// Returns true when \p Id has a binding.
+  virtual bool has(VarId Id) const = 0;
+};
+
+/// An environment with no bindings.
+class EmptyEnv final : public Env {
+public:
+  Value get(VarId) const override {
+    AUTOSYNCH_UNREACHABLE("EmptyEnv::get: no bindings");
+  }
+  bool has(VarId) const override { return false; }
+
+  static const EmptyEnv &instance() {
+    static EmptyEnv E;
+    return E;
+  }
+};
+
+/// A hash-map environment; the common carrier for waituntil local values.
+class MapEnv final : public Env {
+public:
+  MapEnv() = default;
+
+  MapEnv &bind(VarId Id, Value V) {
+    Bindings[Id] = V;
+    return *this;
+  }
+
+  MapEnv &bindInt(VarId Id, int64_t V) {
+    return bind(Id, Value::makeInt(V));
+  }
+
+  MapEnv &bindBool(VarId Id, bool V) { return bind(Id, Value::makeBool(V)); }
+
+  Value get(VarId Id) const override {
+    auto It = Bindings.find(Id);
+    AUTOSYNCH_CHECK(It != Bindings.end(), "unbound variable in MapEnv::get");
+    return It->second;
+  }
+
+  bool has(VarId Id) const override { return Bindings.count(Id) != 0; }
+
+  size_t size() const { return Bindings.size(); }
+
+private:
+  std::unordered_map<VarId, Value> Bindings;
+};
+
+/// Overlays two environments: looks in First, then in Second. Used by the
+/// Broadcast (baseline) policy where a waiter evaluates its own complex
+/// predicate over shared + local bindings.
+class OverlayEnv final : public Env {
+public:
+  OverlayEnv(const Env &First, const Env &Second)
+      : First(First), Second(Second) {}
+
+  Value get(VarId Id) const override {
+    return First.has(Id) ? First.get(Id) : Second.get(Id);
+  }
+
+  bool has(VarId Id) const override {
+    return First.has(Id) || Second.has(Id);
+  }
+
+private:
+  const Env &First;
+  const Env &Second;
+};
+
+} // namespace autosynch
+
+#endif // AUTOSYNCH_EXPR_ENV_H

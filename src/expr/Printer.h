@@ -1,0 +1,40 @@
+//===- expr/Printer.h - Expression pretty-printer --------------*- C++ -*-===//
+//
+// Part of AutoSynch-C++, a reproduction of "AutoSynch: An Automatic-Signal
+// Monitor Based on Predicate Tagging" (Hung & Garg, PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic source-form printing of expressions, used in diagnostics,
+/// the translator's generated code, and golden tests. Printing is
+/// parenthesis-minimal and round-trips through the parser.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AUTOSYNCH_EXPR_PRINTER_H
+#define AUTOSYNCH_EXPR_PRINTER_H
+
+#include "expr/Expr.h"
+#include "expr/SymbolTable.h"
+
+#include <functional>
+#include <string>
+
+namespace autosynch {
+
+/// Renders \p E using variable names from \p Syms.
+std::string printExpr(ExprRef E, const SymbolTable &Syms);
+
+/// Renders \p E with synthetic names (`v0`, `v1`, ...) when no symbol table
+/// is available (debug output).
+std::string printExpr(ExprRef E);
+
+/// Renders \p E mapping each variable through \p VarName — the translator
+/// uses this to emit C++ (shared variables become `name_.get()`).
+std::string printExpr(ExprRef E,
+                      const std::function<std::string(VarId)> &VarName);
+
+} // namespace autosynch
+
+#endif // AUTOSYNCH_EXPR_PRINTER_H

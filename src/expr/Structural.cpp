@@ -1,0 +1,37 @@
+//===- expr/Structural.cpp - Pointer-independent expression order ----------===//
+//
+// Part of AutoSynch-C++, a reproduction of "AutoSynch: An Automatic-Signal
+// Monitor Based on Predicate Tagging" (Hung & Garg, PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "expr/Structural.h"
+
+using namespace autosynch;
+
+int autosynch::structuralCompare(ExprRef A, ExprRef B) {
+  if (A == B) // Interning: identical structure iff identical pointer.
+    return 0;
+  if (A->kind() != B->kind())
+    return A->kind() < B->kind() ? -1 : 1;
+
+  // Same kind: compare payloads (literal value / variable id).
+  switch (A->kind()) {
+  case ExprKind::IntLit:
+    return A->intValue() < B->intValue() ? -1 : 1;
+  case ExprKind::BoolLit:
+    return A->boolValue() < B->boolValue() ? -1 : 1;
+  case ExprKind::Var:
+    return A->varId() < B->varId() ? -1 : 1;
+  default:
+    break;
+  }
+
+  AUTOSYNCH_CHECK(A->numOperands() == B->numOperands(),
+                  "same kind with differing arity");
+  for (unsigned I = 0; I != A->numOperands(); ++I)
+    if (int C = structuralCompare(A->operand(I), B->operand(I)))
+      return C;
+  AUTOSYNCH_UNREACHABLE(
+      "structurally equal expressions with distinct interned nodes");
+}

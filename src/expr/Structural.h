@@ -1,0 +1,36 @@
+//===- expr/Structural.h - Pointer-independent expression order -*- C++ -*-===//
+//
+// Part of AutoSynch-C++, a reproduction of "AutoSynch: An Automatic-Signal
+// Monitor Based on Predicate Tagging" (Hung & Garg, PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A deterministic total order on expressions based on structure rather
+/// than on node addresses. Canonicalization sorts conjunction atoms and DNF
+/// conjunctions with this order so canonical predicates are stable across
+/// runs (and therefore testable against golden output).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AUTOSYNCH_EXPR_STRUCTURAL_H
+#define AUTOSYNCH_EXPR_STRUCTURAL_H
+
+#include "expr/Expr.h"
+
+namespace autosynch {
+
+/// Three-way structural comparison: negative when A < B, zero when equal
+/// (equivalently A == B, by interning), positive when A > B.
+int structuralCompare(ExprRef A, ExprRef B);
+
+/// Strict-weak-order adapter for sorting containers of ExprRef.
+struct StructuralLess {
+  bool operator()(ExprRef A, ExprRef B) const {
+    return structuralCompare(A, B) < 0;
+  }
+};
+
+} // namespace autosynch
+
+#endif // AUTOSYNCH_EXPR_STRUCTURAL_H

@@ -1,0 +1,86 @@
+//===- expr/Subst.cpp - Substitution and globalization ---------------------===//
+//
+// Part of AutoSynch-C++, a reproduction of "AutoSynch: An Automatic-Signal
+// Monitor Based on Predicate Tagging" (Hung & Garg, PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "expr/Subst.h"
+
+using namespace autosynch;
+
+bool autosynch::isComplex(ExprRef E, const SymbolTable &Syms) {
+  if (E->kind() == ExprKind::Var)
+    return Syms.isLocal(E->varId());
+  for (unsigned I = 0; I != E->numOperands(); ++I)
+    if (isComplex(E->operand(I), Syms))
+      return true;
+  return false;
+}
+
+bool autosynch::isGround(ExprRef E) {
+  if (E->kind() == ExprKind::Var)
+    return false;
+  for (unsigned I = 0; I != E->numOperands(); ++I)
+    if (!isGround(E->operand(I)))
+      return false;
+  return true;
+}
+
+namespace {
+
+/// Rebuilds \p E bottom-up, replacing variables selected by \p ShouldSubst
+/// with literals from \p Bindings. Rebuilding through ExprArena interns and
+/// folds on the way up.
+template <typename ShouldSubstFn>
+ExprRef rebuild(ExprArena &Arena, ExprRef E, const Env &Bindings,
+                const ShouldSubstFn &ShouldSubst) {
+  switch (E->kind()) {
+  case ExprKind::IntLit:
+  case ExprKind::BoolLit:
+    return E;
+  case ExprKind::Var: {
+    if (!ShouldSubst(E->varId()))
+      return E;
+    Value V = Bindings.get(E->varId());
+    AUTOSYNCH_CHECK((V.isBool() ? TypeKind::Bool : TypeKind::Int) ==
+                        E->type(),
+                    "substituted value type mismatches variable type");
+    return Arena.literal(V);
+  }
+  default:
+    break;
+  }
+
+  if (E->numOperands() == 1) {
+    ExprRef Op = rebuild(Arena, E->operand(0), Bindings, ShouldSubst);
+    if (Op == E->operand(0))
+      return E;
+    return Arena.unary(E->kind(), Op);
+  }
+
+  ExprRef L = rebuild(Arena, E->lhs(), Bindings, ShouldSubst);
+  ExprRef R = rebuild(Arena, E->rhs(), Bindings, ShouldSubst);
+  if (L == E->lhs() && R == E->rhs())
+    return E;
+  return Arena.binary(E->kind(), L, R);
+}
+
+} // namespace
+
+ExprRef autosynch::globalize(ExprArena &Arena, ExprRef E,
+                             const SymbolTable &Syms, const Env &Locals) {
+  return rebuild(Arena, E, Locals, [&](VarId Id) {
+    if (!Syms.isLocal(Id))
+      return false;
+    AUTOSYNCH_CHECK(Locals.has(Id),
+                    "globalization: unbound local variable in predicate");
+    return true;
+  });
+}
+
+ExprRef autosynch::substitute(ExprArena &Arena, ExprRef E,
+                              const Env &Bindings) {
+  return rebuild(Arena, E, Bindings,
+                 [&](VarId Id) { return Bindings.has(Id); });
+}

@@ -1,0 +1,48 @@
+//===- expr/Subst.h - Substitution and globalization -----------*- C++ -*-===//
+//
+// Part of AutoSynch-C++, a reproduction of "AutoSynch: An Automatic-Signal
+// Monitor Based on Predicate Tagging" (Hung & Garg, PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Globalization (paper Definition 2 and Proposition 1): a complex predicate
+/// P(x, a) over shared variables x and local variables a becomes the shared
+/// predicate G(x) = P(x, a_t) by substituting the locals' values a_t at the
+/// instant the waituntil starts. Proposition 1 shows P and G are equivalent
+/// for the whole waituntil period, because no other thread can write the
+/// waiter's locals.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AUTOSYNCH_EXPR_SUBST_H
+#define AUTOSYNCH_EXPR_SUBST_H
+
+#include "expr/Env.h"
+#include "expr/ExprArena.h"
+#include "expr/SymbolTable.h"
+
+namespace autosynch {
+
+/// Returns true when \p E mentions at least one Local-scoped variable,
+/// i.e. the paper's *complex predicate* test (Definition 1).
+bool isComplex(ExprRef E, const SymbolTable &Syms);
+
+/// Returns true when \p E mentions no variables at all.
+bool isGround(ExprRef E);
+
+/// Globalizes \p E: every Local-scoped variable is replaced by its value in
+/// \p Locals (fatal error if a local is unbound — a waiter must supply all
+/// of its locals). Shared variables are untouched. The rebuilt expression is
+/// interned and constant-folded, so structurally equivalent globalizations
+/// collapse to one node.
+ExprRef globalize(ExprArena &Arena, ExprRef E, const SymbolTable &Syms,
+                  const Env &Locals);
+
+/// General substitution: replaces every variable bound in \p Bindings
+/// (regardless of scope) with its literal value.
+ExprRef substitute(ExprArena &Arena, ExprRef E, const Env &Bindings);
+
+} // namespace autosynch
+
+#endif // AUTOSYNCH_EXPR_SUBST_H

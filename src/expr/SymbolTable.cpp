@@ -1,0 +1,35 @@
+//===- expr/SymbolTable.cpp - Variable declarations -----------------------===//
+//
+// Part of AutoSynch-C++, a reproduction of "AutoSynch: An Automatic-Signal
+// Monitor Based on Predicate Tagging" (Hung & Garg, PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "expr/SymbolTable.h"
+
+#include "support/Check.h"
+
+using namespace autosynch;
+
+VarId SymbolTable::declare(std::string_view Name, TypeKind Type,
+                           VarScope Scope) {
+  AUTOSYNCH_CHECK(!Name.empty(), "variable name must be non-empty");
+  AUTOSYNCH_CHECK(ByName.find(std::string(Name)) == ByName.end(),
+                  "duplicate variable declaration");
+  VarId Id = static_cast<VarId>(Vars.size());
+  Vars.push_back(VarInfo{std::string(Name), Type, Scope, Id});
+  ByName.emplace(std::string(Name), Id);
+  return Id;
+}
+
+const VarInfo *SymbolTable::lookup(std::string_view Name) const {
+  auto It = ByName.find(std::string(Name));
+  if (It == ByName.end())
+    return nullptr;
+  return &Vars[It->second];
+}
+
+const VarInfo &SymbolTable::info(VarId Id) const {
+  AUTOSYNCH_CHECK(Id < Vars.size(), "VarId out of range");
+  return Vars[Id];
+}

@@ -1,0 +1,57 @@
+//===- expr/SymbolTable.h - Variable declarations --------------*- C++ -*-===//
+//
+// Part of AutoSynch-C++, a reproduction of "AutoSynch: An Automatic-Signal
+// Monitor Based on Predicate Tagging" (Hung & Garg, PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Declaration table for predicate variables. One instance per monitor: the
+/// monitor's Shared<T> members register shared variables, and local
+/// variables (method parameters in the paper's examples) are declared before
+/// parsing predicates that mention them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AUTOSYNCH_EXPR_SYMBOLTABLE_H
+#define AUTOSYNCH_EXPR_SYMBOLTABLE_H
+
+#include "expr/Var.h"
+
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace autosynch {
+
+/// Maps variable names to dense VarIds and remembers type and scope.
+class SymbolTable {
+public:
+  /// Declares a new variable. Fatal error on duplicate names — monitors
+  /// must not have ambiguous predicate variables.
+  VarId declare(std::string_view Name, TypeKind Type, VarScope Scope);
+
+  /// Returns the info for \p Name, or nullptr if undeclared.
+  const VarInfo *lookup(std::string_view Name) const;
+
+  /// Returns the info for \p Id. Fatal error when out of range.
+  const VarInfo &info(VarId Id) const;
+
+  bool isShared(VarId Id) const {
+    return info(Id).Scope == VarScope::Shared;
+  }
+  bool isLocal(VarId Id) const { return info(Id).Scope == VarScope::Local; }
+
+  size_t size() const { return Vars.size(); }
+
+  /// All declared variables in declaration order.
+  const std::vector<VarInfo> &variables() const { return Vars; }
+
+private:
+  std::vector<VarInfo> Vars;
+  std::unordered_map<std::string, VarId> ByName;
+};
+
+} // namespace autosynch
+
+#endif // AUTOSYNCH_EXPR_SYMBOLTABLE_H

@@ -1,0 +1,87 @@
+//===- expr/Value.h - Runtime values of predicate expressions --*- C++ -*-===//
+//
+// Part of AutoSynch-C++, a reproduction of "AutoSynch: An Automatic-Signal
+// Monitor Based on Predicate Tagging" (Hung & Garg, PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The runtime value domain of the predicate language: 64-bit integers and
+/// booleans. The paper's predicates range over Java primitives; int64 + bool
+/// covers every predicate in its evaluation and keeps arithmetic exact.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AUTOSYNCH_EXPR_VALUE_H
+#define AUTOSYNCH_EXPR_VALUE_H
+
+#include "support/Check.h"
+
+#include <cstdint>
+#include <string>
+
+namespace autosynch {
+
+/// Static type of an expression or variable.
+enum class TypeKind : uint8_t { Int, Bool };
+
+/// Returns "int" or "bool".
+inline const char *typeName(TypeKind T) {
+  return T == TypeKind::Int ? "int" : "bool";
+}
+
+/// A runtime value: either an int64 or a bool.
+class Value {
+public:
+  Value() : Ty(TypeKind::Int), IntVal(0) {}
+
+  static Value makeInt(int64_t V) {
+    Value R;
+    R.Ty = TypeKind::Int;
+    R.IntVal = V;
+    return R;
+  }
+
+  static Value makeBool(bool B) {
+    Value R;
+    R.Ty = TypeKind::Bool;
+    R.IntVal = B ? 1 : 0;
+    return R;
+  }
+
+  TypeKind type() const { return Ty; }
+  bool isInt() const { return Ty == TypeKind::Int; }
+  bool isBool() const { return Ty == TypeKind::Bool; }
+
+  int64_t asInt() const {
+    AUTOSYNCH_CHECK(isInt(), "Value::asInt on a bool value");
+    return IntVal;
+  }
+
+  bool asBool() const {
+    AUTOSYNCH_CHECK(isBool(), "Value::asBool on an int value");
+    return IntVal != 0;
+  }
+
+  /// Raw 64-bit payload (bool as 0/1); used by the bytecode VM.
+  int64_t raw() const { return IntVal; }
+
+  bool operator==(const Value &Rhs) const {
+    return Ty == Rhs.Ty && IntVal == Rhs.IntVal;
+  }
+  bool operator!=(const Value &Rhs) const { return !(*this == Rhs); }
+
+  std::string toString() const {
+    if (isBool())
+      return IntVal ? "true" : "false";
+    return std::to_string(IntVal);
+  }
+
+private:
+  TypeKind Ty;
+  int64_t IntVal;
+};
+
+} // namespace autosynch
+
+#endif // AUTOSYNCH_EXPR_VALUE_H

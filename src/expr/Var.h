@@ -1,0 +1,42 @@
+//===- expr/Var.h - Variable identity and scope ----------------*- C++ -*-===//
+//
+// Part of AutoSynch-C++, a reproduction of "AutoSynch: An Automatic-Signal
+// Monitor Based on Predicate Tagging" (Hung & Garg, PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Variable identity. The paper (Definition 1) divides predicate variables
+/// into shared variables S (monitor state, readable by every thread in the
+/// monitor) and local variables L (visible only to the waiting thread).
+/// This split drives globalization and predicate classification.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AUTOSYNCH_EXPR_VAR_H
+#define AUTOSYNCH_EXPR_VAR_H
+
+#include "expr/Value.h"
+
+#include <cstdint>
+#include <string>
+
+namespace autosynch {
+
+/// Dense variable identifier assigned by a SymbolTable.
+using VarId = uint32_t;
+
+/// Whether a variable is monitor state or thread-local (paper Def. 1).
+enum class VarScope : uint8_t { Shared, Local };
+
+/// Everything the analyses need to know about a declared variable.
+struct VarInfo {
+  std::string Name;
+  TypeKind Type = TypeKind::Int;
+  VarScope Scope = VarScope::Shared;
+  VarId Id = 0;
+};
+
+} // namespace autosynch
+
+#endif // AUTOSYNCH_EXPR_VAR_H

@@ -1,0 +1,282 @@
+//===- parse/Lexer.cpp - Lexer for the AutoSynch languages -----------------===//
+//
+// Part of AutoSynch-C++, a reproduction of "AutoSynch: An Automatic-Signal
+// Monitor Based on Predicate Tagging" (Hung & Garg, PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "parse/Lexer.h"
+
+#include "support/Check.h"
+
+#include <cctype>
+#include <utility>
+
+using namespace autosynch;
+
+const char *autosynch::tokenKindName(TokenKind K) {
+  switch (K) {
+  case TokenKind::Eof:
+    return "end of input";
+  case TokenKind::Error:
+    return "invalid token";
+  case TokenKind::Identifier:
+    return "identifier";
+  case TokenKind::IntLiteral:
+    return "integer literal";
+  case TokenKind::KwTrue:
+    return "'true'";
+  case TokenKind::KwFalse:
+    return "'false'";
+  case TokenKind::KwMonitor:
+    return "'monitor'";
+  case TokenKind::KwShared:
+    return "'shared'";
+  case TokenKind::KwMethod:
+    return "'method'";
+  case TokenKind::KwReturns:
+    return "'returns'";
+  case TokenKind::KwReturn:
+    return "'return'";
+  case TokenKind::KwWaituntil:
+    return "'waituntil'";
+  case TokenKind::KwInt:
+    return "'int'";
+  case TokenKind::KwBool:
+    return "'bool'";
+  case TokenKind::KwIf:
+    return "'if'";
+  case TokenKind::KwElse:
+    return "'else'";
+  case TokenKind::KwWhile:
+    return "'while'";
+  case TokenKind::LParen:
+    return "'('";
+  case TokenKind::RParen:
+    return "')'";
+  case TokenKind::LBrace:
+    return "'{'";
+  case TokenKind::RBrace:
+    return "'}'";
+  case TokenKind::Comma:
+    return "','";
+  case TokenKind::Semicolon:
+    return "';'";
+  case TokenKind::Assign:
+    return "'='";
+  case TokenKind::Plus:
+    return "'+'";
+  case TokenKind::Minus:
+    return "'-'";
+  case TokenKind::Star:
+    return "'*'";
+  case TokenKind::Slash:
+    return "'/'";
+  case TokenKind::Percent:
+    return "'%'";
+  case TokenKind::EqEq:
+    return "'=='";
+  case TokenKind::NotEq:
+    return "'!='";
+  case TokenKind::Less:
+    return "'<'";
+  case TokenKind::LessEq:
+    return "'<='";
+  case TokenKind::Greater:
+    return "'>'";
+  case TokenKind::GreaterEq:
+    return "'>='";
+  case TokenKind::AmpAmp:
+    return "'&&'";
+  case TokenKind::PipePipe:
+    return "'||'";
+  case TokenKind::Bang:
+    return "'!'";
+  }
+  AUTOSYNCH_UNREACHABLE("invalid TokenKind");
+}
+
+Lexer::Lexer(std::string_view Source) : Src(Source) {}
+
+void Lexer::advance() {
+  AUTOSYNCH_CHECK(Pos < Src.size(), "lexer advanced past end of input");
+  if (Src[Pos] == '\n') {
+    ++Line;
+    Col = 1;
+  } else {
+    ++Col;
+  }
+  ++Pos;
+}
+
+void Lexer::skipTrivia() {
+  while (Pos < Src.size()) {
+    char C = peek();
+    if (C == ' ' || C == '\t' || C == '\r' || C == '\n') {
+      advance();
+      continue;
+    }
+    if (C == '/' && peek(1) == '/') {
+      while (Pos < Src.size() && peek() != '\n')
+        advance();
+      continue;
+    }
+    if (C == '/' && peek(1) == '*') {
+      advance();
+      advance();
+      while (Pos < Src.size() && !(peek() == '*' && peek(1) == '/'))
+        advance();
+      if (Pos < Src.size()) { // Consume the closing "*/".
+        advance();
+        advance();
+      }
+      continue;
+    }
+    return;
+  }
+}
+
+Token Lexer::makeToken(TokenKind K, size_t Begin) {
+  Token T;
+  T.Kind = K;
+  T.Spelling = Src.substr(Begin, Pos - Begin);
+  T.Line = TokLine;
+  T.Col = TokCol;
+  return T;
+}
+
+Token Lexer::lexIdentifierOrKeyword() {
+  size_t Begin = Pos;
+  while (Pos < Src.size() &&
+         (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_'))
+    advance();
+  Token T = makeToken(TokenKind::Identifier, Begin);
+
+  static constexpr std::pair<std::string_view, TokenKind> Keywords[] = {
+      {"true", TokenKind::KwTrue},           {"false", TokenKind::KwFalse},
+      {"monitor", TokenKind::KwMonitor},     {"shared", TokenKind::KwShared},
+      {"method", TokenKind::KwMethod},       {"returns", TokenKind::KwReturns},
+      {"return", TokenKind::KwReturn},       {"waituntil", TokenKind::KwWaituntil},
+      {"int", TokenKind::KwInt},             {"bool", TokenKind::KwBool},
+      {"if", TokenKind::KwIf},               {"else", TokenKind::KwElse},
+      {"while", TokenKind::KwWhile}};
+  for (const auto &[Spelling, Kind] : Keywords) {
+    if (T.Spelling == Spelling) {
+      T.Kind = Kind;
+      break;
+    }
+  }
+  return T;
+}
+
+Token Lexer::lexNumber() {
+  size_t Begin = Pos;
+  while (Pos < Src.size() && std::isdigit(static_cast<unsigned char>(peek())))
+    advance();
+  Token T = makeToken(TokenKind::IntLiteral, Begin);
+
+  // Overflow-checked decimal conversion; overflow is a lexical error.
+  uint64_t V = 0;
+  for (char C : T.Spelling) {
+    uint64_t Digit = static_cast<uint64_t>(C - '0');
+    if (V > (UINT64_MAX - Digit) / 10) {
+      T.Kind = TokenKind::Error;
+      return T;
+    }
+    V = V * 10 + Digit;
+  }
+  if (V > static_cast<uint64_t>(INT64_MAX)) {
+    T.Kind = TokenKind::Error;
+    return T;
+  }
+  T.IntValue = static_cast<int64_t>(V);
+  return T;
+}
+
+Token Lexer::next() {
+  skipTrivia();
+  TokLine = Line;
+  TokCol = Col;
+
+  if (Pos >= Src.size())
+    return makeToken(TokenKind::Eof, Pos);
+
+  char C = peek();
+  if (std::isalpha(static_cast<unsigned char>(C)) || C == '_')
+    return lexIdentifierOrKeyword();
+  if (std::isdigit(static_cast<unsigned char>(C)))
+    return lexNumber();
+
+  size_t Begin = Pos;
+  advance();
+  switch (C) {
+  case '(':
+    return makeToken(TokenKind::LParen, Begin);
+  case ')':
+    return makeToken(TokenKind::RParen, Begin);
+  case '{':
+    return makeToken(TokenKind::LBrace, Begin);
+  case '}':
+    return makeToken(TokenKind::RBrace, Begin);
+  case ',':
+    return makeToken(TokenKind::Comma, Begin);
+  case ';':
+    return makeToken(TokenKind::Semicolon, Begin);
+  case '+':
+    return makeToken(TokenKind::Plus, Begin);
+  case '-':
+    return makeToken(TokenKind::Minus, Begin);
+  case '*':
+    return makeToken(TokenKind::Star, Begin);
+  case '/':
+    return makeToken(TokenKind::Slash, Begin);
+  case '%':
+    return makeToken(TokenKind::Percent, Begin);
+  case '=':
+    if (peek() == '=') {
+      advance();
+      return makeToken(TokenKind::EqEq, Begin);
+    }
+    return makeToken(TokenKind::Assign, Begin);
+  case '!':
+    if (peek() == '=') {
+      advance();
+      return makeToken(TokenKind::NotEq, Begin);
+    }
+    return makeToken(TokenKind::Bang, Begin);
+  case '<':
+    if (peek() == '=') {
+      advance();
+      return makeToken(TokenKind::LessEq, Begin);
+    }
+    return makeToken(TokenKind::Less, Begin);
+  case '>':
+    if (peek() == '=') {
+      advance();
+      return makeToken(TokenKind::GreaterEq, Begin);
+    }
+    return makeToken(TokenKind::Greater, Begin);
+  case '&':
+    if (peek() == '&') {
+      advance();
+      return makeToken(TokenKind::AmpAmp, Begin);
+    }
+    return makeToken(TokenKind::Error, Begin);
+  case '|':
+    if (peek() == '|') {
+      advance();
+      return makeToken(TokenKind::PipePipe, Begin);
+    }
+    return makeToken(TokenKind::Error, Begin);
+  default:
+    return makeToken(TokenKind::Error, Begin);
+  }
+}
+
+std::vector<Token> Lexer::tokenize(std::string_view Source) {
+  Lexer L(Source);
+  std::vector<Token> Tokens;
+  for (Token T = L.next(); !T.is(TokenKind::Eof); T = L.next())
+    Tokens.push_back(T);
+  return Tokens;
+}

@@ -1,0 +1,57 @@
+//===- parse/Lexer.h - Lexer for the AutoSynch languages -------*- C++ -*-===//
+//
+// Part of AutoSynch-C++, a reproduction of "AutoSynch: An Automatic-Signal
+// Monitor Based on Predicate Tagging" (Hung & Garg, PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hand-written lexer over a string_view. Supports `//` and `/* */`
+/// comments, decimal integer literals, identifiers, keywords, and the
+/// operator set of the predicate language.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AUTOSYNCH_PARSE_LEXER_H
+#define AUTOSYNCH_PARSE_LEXER_H
+
+#include "parse/Token.h"
+
+#include <vector>
+
+namespace autosynch {
+
+/// Single-pass lexer. The source buffer must outlive produced tokens
+/// (spellings are views into it).
+class Lexer {
+public:
+  explicit Lexer(std::string_view Source);
+
+  /// Lexes and returns the next token; Eof repeats forever at the end.
+  Token next();
+
+  /// Lexes the entire input (excluding the trailing Eof).
+  static std::vector<Token> tokenize(std::string_view Source);
+
+private:
+  void skipTrivia();
+  Token makeToken(TokenKind K, size_t Begin);
+  Token lexIdentifierOrKeyword();
+  Token lexNumber();
+
+  char peek(size_t Ahead = 0) const {
+    return Pos + Ahead < Src.size() ? Src[Pos + Ahead] : '\0';
+  }
+  void advance();
+
+  std::string_view Src;
+  size_t Pos = 0;
+  int Line = 1;
+  int Col = 1;
+  int TokLine = 1;
+  int TokCol = 1;
+};
+
+} // namespace autosynch
+
+#endif // AUTOSYNCH_PARSE_LEXER_H

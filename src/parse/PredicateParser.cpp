@@ -1,0 +1,292 @@
+//===- parse/PredicateParser.cpp - Predicate expression parser -------------===//
+//
+// Part of AutoSynch-C++, a reproduction of "AutoSynch: An Automatic-Signal
+// Monitor Based on Predicate Tagging" (Hung & Garg, PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "parse/PredicateParser.h"
+
+#include "parse/Lexer.h"
+
+using namespace autosynch;
+
+std::string ParseError::toString() const {
+  return std::to_string(Line) + ":" + std::to_string(Col) + ": " + Message;
+}
+
+namespace {
+
+/// Recursive-descent expression parser with the precedence ladder
+///   ||  <  &&  <  == !=  <  < <= > >=  <  + -  <  * / %  <  unary.
+/// Comparisons are non-associative (a < b < c is rejected), matching Java.
+class ExprParser {
+public:
+  ExprParser(std::string_view Source, ExprArena &Arena, SymbolTable &Syms,
+             PredicateParseOptions Options)
+      : Lex(Source), Arena(Arena), Syms(Syms), Options(Options) {
+    Tok = Lex.next();
+  }
+
+  PredicateParseResult run(bool RequireBool) {
+    ExprRef E = parseOr();
+    if (Failed)
+      return fail();
+    if (!Tok.is(TokenKind::Eof)) {
+      error(std::string("unexpected ") + tokenKindName(Tok.Kind) +
+            " after expression");
+      return fail();
+    }
+    if (RequireBool && E->type() != TypeKind::Bool) {
+      error("waituntil predicate must be bool-typed, got int");
+      return fail();
+    }
+    PredicateParseResult R;
+    R.Expr = E;
+    return R;
+  }
+
+private:
+  //===--------------------------------------------------------------------===//
+  // Token plumbing
+  //===--------------------------------------------------------------------===//
+
+  void consume() { Tok = Lex.next(); }
+
+  void error(const std::string &Message) {
+    if (Failed) // Keep the first error.
+      return;
+    Failed = true;
+    Err.Line = Tok.Line;
+    Err.Col = Tok.Col;
+    Err.Message = Message;
+  }
+
+  PredicateParseResult fail() {
+    PredicateParseResult R;
+    R.Error = Err;
+    return R;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Grammar
+  //===--------------------------------------------------------------------===//
+
+  ExprRef parseOr() {
+    ExprRef L = parseAnd();
+    while (!Failed && Tok.is(TokenKind::PipePipe)) {
+      consume();
+      ExprRef R = parseAnd();
+      if (Failed)
+        return L;
+      L = buildLogical(ExprKind::Or, L, R);
+    }
+    return L;
+  }
+
+  ExprRef parseAnd() {
+    ExprRef L = parseEquality();
+    while (!Failed && Tok.is(TokenKind::AmpAmp)) {
+      consume();
+      ExprRef R = parseEquality();
+      if (Failed)
+        return L;
+      L = buildLogical(ExprKind::And, L, R);
+    }
+    return L;
+  }
+
+  ExprRef parseEquality() {
+    ExprRef L = parseRelational();
+    if (Failed)
+      return L;
+    ExprKind K;
+    if (Tok.is(TokenKind::EqEq))
+      K = ExprKind::Eq;
+    else if (Tok.is(TokenKind::NotEq))
+      K = ExprKind::Ne;
+    else
+      return L;
+    consume();
+    ExprRef R = parseRelational();
+    if (Failed)
+      return L;
+    if (L->type() != R->type()) {
+      error("'==' / '!=' require operands of the same type");
+      return L;
+    }
+    return Arena.binary(K, L, R);
+  }
+
+  ExprRef parseRelational() {
+    ExprRef L = parseAdditive();
+    if (Failed)
+      return L;
+    ExprKind K;
+    if (Tok.is(TokenKind::Less))
+      K = ExprKind::Lt;
+    else if (Tok.is(TokenKind::LessEq))
+      K = ExprKind::Le;
+    else if (Tok.is(TokenKind::Greater))
+      K = ExprKind::Gt;
+    else if (Tok.is(TokenKind::GreaterEq))
+      K = ExprKind::Ge;
+    else
+      return L;
+    consume();
+    ExprRef R = parseAdditive();
+    if (Failed)
+      return L;
+    if (L->type() != TypeKind::Int || R->type() != TypeKind::Int) {
+      error("ordering comparison requires int operands");
+      return L;
+    }
+    return Arena.binary(K, L, R);
+  }
+
+  ExprRef parseAdditive() {
+    ExprRef L = parseMultiplicative();
+    while (!Failed &&
+           (Tok.is(TokenKind::Plus) || Tok.is(TokenKind::Minus))) {
+      ExprKind K = Tok.is(TokenKind::Plus) ? ExprKind::Add : ExprKind::Sub;
+      consume();
+      ExprRef R = parseMultiplicative();
+      if (Failed)
+        return L;
+      L = buildArith(K, L, R);
+    }
+    return L;
+  }
+
+  ExprRef parseMultiplicative() {
+    ExprRef L = parseUnary();
+    while (!Failed && (Tok.is(TokenKind::Star) || Tok.is(TokenKind::Slash) ||
+                       Tok.is(TokenKind::Percent))) {
+      ExprKind K = Tok.is(TokenKind::Star)    ? ExprKind::Mul
+                   : Tok.is(TokenKind::Slash) ? ExprKind::Div
+                                              : ExprKind::Mod;
+      consume();
+      ExprRef R = parseUnary();
+      if (Failed)
+        return L;
+      L = buildArith(K, L, R);
+    }
+    return L;
+  }
+
+  ExprRef parseUnary() {
+    if (Tok.is(TokenKind::Minus)) {
+      consume();
+      ExprRef Op = parseUnary();
+      if (Failed)
+        return Op;
+      if (Op->type() != TypeKind::Int) {
+        error("unary '-' requires an int operand");
+        return Op;
+      }
+      return Arena.unary(ExprKind::Neg, Op);
+    }
+    if (Tok.is(TokenKind::Bang)) {
+      consume();
+      ExprRef Op = parseUnary();
+      if (Failed)
+        return Op;
+      if (Op->type() != TypeKind::Bool) {
+        error("'!' requires a bool operand");
+        return Op;
+      }
+      return Arena.unary(ExprKind::Not, Op);
+    }
+    return parsePrimary();
+  }
+
+  ExprRef parsePrimary() {
+    switch (Tok.Kind) {
+    case TokenKind::IntLiteral: {
+      int64_t V = Tok.IntValue;
+      consume();
+      return Arena.intLit(V);
+    }
+    case TokenKind::KwTrue:
+      consume();
+      return Arena.boolLit(true);
+    case TokenKind::KwFalse:
+      consume();
+      return Arena.boolLit(false);
+    case TokenKind::Identifier: {
+      const VarInfo *Info = Syms.lookup(Tok.Spelling);
+      if (!Info) {
+        if (!Options.AutoDeclareLocals) {
+          error("undeclared variable '" + std::string(Tok.Spelling) + "'");
+          return Arena.boolLit(false);
+        }
+        VarId Id = Syms.declare(Tok.Spelling, TypeKind::Int, VarScope::Local);
+        Info = &Syms.info(Id);
+      }
+      consume();
+      return Arena.var(*Info);
+    }
+    case TokenKind::LParen: {
+      consume();
+      ExprRef E = parseOr();
+      if (Failed)
+        return E;
+      if (!Tok.is(TokenKind::RParen)) {
+        error(std::string("expected ')', got ") + tokenKindName(Tok.Kind));
+        return E;
+      }
+      consume();
+      return E;
+    }
+    default:
+      error(std::string("expected an expression, got ") +
+            tokenKindName(Tok.Kind));
+      return Arena.boolLit(false);
+    }
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Typed construction
+  //===--------------------------------------------------------------------===//
+
+  ExprRef buildArith(ExprKind K, ExprRef L, ExprRef R) {
+    if (L->type() != TypeKind::Int || R->type() != TypeKind::Int) {
+      error("arithmetic requires int operands");
+      return L;
+    }
+    return Arena.binary(K, L, R);
+  }
+
+  ExprRef buildLogical(ExprKind K, ExprRef L, ExprRef R) {
+    if (L->type() != TypeKind::Bool || R->type() != TypeKind::Bool) {
+      error(K == ExprKind::And ? "'&&' requires bool operands"
+                               : "'||' requires bool operands");
+      return L;
+    }
+    return Arena.binary(K, L, R);
+  }
+
+  Lexer Lex;
+  Token Tok;
+  ExprArena &Arena;
+  SymbolTable &Syms;
+  PredicateParseOptions Options;
+  bool Failed = false;
+  ParseError Err;
+};
+
+} // namespace
+
+PredicateParseResult autosynch::parsePredicate(std::string_view Source,
+                                               ExprArena &Arena,
+                                               SymbolTable &Syms,
+                                               PredicateParseOptions Options) {
+  return ExprParser(Source, Arena, Syms, Options).run(/*RequireBool=*/true);
+}
+
+PredicateParseResult
+autosynch::parseExpression(std::string_view Source, ExprArena &Arena,
+                           SymbolTable &Syms,
+                           PredicateParseOptions Options) {
+  return ExprParser(Source, Arena, Syms, Options).run(/*RequireBool=*/false);
+}

@@ -1,0 +1,68 @@
+//===- parse/PredicateParser.h - Predicate expression parser ---*- C++ -*-===//
+//
+// Part of AutoSynch-C++, a reproduction of "AutoSynch: An Automatic-Signal
+// Monitor Based on Predicate Tagging" (Hung & Garg, PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parses waituntil predicate source text ("count + items <= cap") into the
+/// interned expression AST. Identifier resolution goes through a
+/// SymbolTable; options control whether unknown identifiers auto-declare as
+/// local int variables (the convenient mode for string-based waitUntil).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AUTOSYNCH_PARSE_PREDICATEPARSER_H
+#define AUTOSYNCH_PARSE_PREDICATEPARSER_H
+
+#include "expr/ExprArena.h"
+#include "expr/SymbolTable.h"
+
+#include <string>
+#include <string_view>
+
+namespace autosynch {
+
+/// A parse or type error with its 1-based source location.
+struct ParseError {
+  int Line = 0;
+  int Col = 0;
+  std::string Message;
+
+  /// "line:col: message" rendering for diagnostics.
+  std::string toString() const;
+};
+
+/// Outcome of parsing a predicate. On failure, Expr is null and Error is
+/// populated; the parser stops at the first error (predicates are
+/// one-liners).
+struct PredicateParseResult {
+  ExprRef Expr = nullptr;
+  ParseError Error;
+
+  bool ok() const { return Expr != nullptr; }
+};
+
+/// Parser configuration.
+struct PredicateParseOptions {
+  /// When true, identifiers missing from the symbol table are declared as
+  /// Local int variables; when false they are parse errors.
+  bool AutoDeclareLocals = false;
+};
+
+/// Parses \p Source into \p Arena, resolving names in \p Syms. Requires the
+/// result to be bool-typed (it is a waituntil condition).
+PredicateParseResult parsePredicate(std::string_view Source, ExprArena &Arena,
+                                    SymbolTable &Syms,
+                                    PredicateParseOptions Options = {});
+
+/// Parses an arbitrary (possibly int-typed) expression; used by tests and
+/// the translator for right-hand sides of assignments.
+PredicateParseResult parseExpression(std::string_view Source,
+                                     ExprArena &Arena, SymbolTable &Syms,
+                                     PredicateParseOptions Options = {});
+
+} // namespace autosynch
+
+#endif // AUTOSYNCH_PARSE_PREDICATEPARSER_H

@@ -1,0 +1,84 @@
+//===- parse/Token.h - Tokens of the AutoSynch languages -------*- C++ -*-===//
+//
+// Part of AutoSynch-C++, a reproduction of "AutoSynch: An Automatic-Signal
+// Monitor Based on Predicate Tagging" (Hung & Garg, PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Token vocabulary shared by the predicate parser and the monitor-language
+/// translator (the reproduction of the paper's JavaCC preprocessor, Fig. 2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AUTOSYNCH_PARSE_TOKEN_H
+#define AUTOSYNCH_PARSE_TOKEN_H
+
+#include <cstdint>
+#include <string_view>
+
+namespace autosynch {
+
+enum class TokenKind : uint8_t {
+  Eof,
+  Error, ///< Lexical error; spelling holds the offending text.
+
+  Identifier,
+  IntLiteral,
+
+  // Keywords.
+  KwTrue,
+  KwFalse,
+  KwMonitor,
+  KwShared,
+  KwMethod,
+  KwReturns,
+  KwReturn,
+  KwWaituntil,
+  KwInt,
+  KwBool,
+  KwIf,
+  KwElse,
+  KwWhile,
+
+  // Punctuation and operators.
+  LParen,
+  RParen,
+  LBrace,
+  RBrace,
+  Comma,
+  Semicolon,
+  Assign, ///< =
+  Plus,
+  Minus,
+  Star,
+  Slash,
+  Percent,
+  EqEq,
+  NotEq,
+  Less,
+  LessEq,
+  Greater,
+  GreaterEq,
+  AmpAmp,
+  PipePipe,
+  Bang
+};
+
+/// Returns a diagnostic-friendly name for \p K (e.g. "'<='", "identifier").
+const char *tokenKindName(TokenKind K);
+
+/// A lexed token with its source location (1-based line and column).
+struct Token {
+  TokenKind Kind = TokenKind::Eof;
+  std::string_view Spelling;
+  int Line = 1;
+  int Col = 1;
+  int64_t IntValue = 0; ///< Set for IntLiteral.
+
+  bool is(TokenKind K) const { return Kind == K; }
+};
+
+} // namespace autosynch
+
+#endif // AUTOSYNCH_PARSE_TOKEN_H

@@ -1,0 +1,17 @@
+//===- support/Check.cpp - Always-on invariant checks ---------------------===//
+//
+// Part of AutoSynch-C++, a reproduction of "AutoSynch: An Automatic-Signal
+// Monitor Based on Predicate Tagging" (Hung & Garg, PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Check.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+void autosynch::fatalError(const char *File, int Line, const char *Msg) {
+  std::fprintf(stderr, "autosynch fatal error: %s:%d: %s\n", File, Line, Msg);
+  std::fflush(stderr);
+  std::abort();
+}

@@ -1,0 +1,40 @@
+//===- support/Check.h - Always-on invariant checks ------------*- C++ -*-===//
+//
+// Part of AutoSynch-C++, a reproduction of "AutoSynch: An Automatic-Signal
+// Monitor Based on Predicate Tagging" (Hung & Garg, PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Invariant-check macros that stay active in release builds, plus the
+/// fatal-error termination path. The library does not use exceptions; a
+/// violated structural invariant aborts with a message (LLVM's
+/// report_fatal_error discipline). Hot-path sanity checks use plain assert().
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AUTOSYNCH_SUPPORT_CHECK_H
+#define AUTOSYNCH_SUPPORT_CHECK_H
+
+#include "support/Compiler.h"
+
+namespace autosynch {
+
+/// Prints \p Msg (with source location) to stderr and aborts. Never returns.
+[[noreturn]] void fatalError(const char *File, int Line, const char *Msg);
+
+} // namespace autosynch
+
+/// Aborts with \p Msg when \p Cond is false. Active in all build types; use
+/// for structural invariants whose violation would corrupt monitor state.
+#define AUTOSYNCH_CHECK(Cond, Msg)                                            \
+  do {                                                                        \
+    if (AUTOSYNCH_UNLIKELY(!(Cond)))                                          \
+      ::autosynch::fatalError(__FILE__, __LINE__, Msg);                       \
+  } while (false)
+
+/// Marks a code path that must be unreachable.
+#define AUTOSYNCH_UNREACHABLE(Msg)                                            \
+  ::autosynch::fatalError(__FILE__, __LINE__, Msg)
+
+#endif // AUTOSYNCH_SUPPORT_CHECK_H

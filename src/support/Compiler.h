@@ -1,0 +1,28 @@
+//===- support/Compiler.h - Compiler abstraction macros --------*- C++ -*-===//
+//
+// Part of AutoSynch-C++, a reproduction of "AutoSynch: An Automatic-Signal
+// Monitor Based on Predicate Tagging" (Hung & Garg, PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small compiler abstraction macros shared across the project.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AUTOSYNCH_SUPPORT_COMPILER_H
+#define AUTOSYNCH_SUPPORT_COMPILER_H
+
+#if defined(__GNUC__) || defined(__clang__)
+#define AUTOSYNCH_LIKELY(x) __builtin_expect(!!(x), 1)
+#define AUTOSYNCH_UNLIKELY(x) __builtin_expect(!!(x), 0)
+#define AUTOSYNCH_NOINLINE __attribute__((noinline))
+#define AUTOSYNCH_ALWAYS_INLINE inline __attribute__((always_inline))
+#else
+#define AUTOSYNCH_LIKELY(x) (x)
+#define AUTOSYNCH_UNLIKELY(x) (x)
+#define AUTOSYNCH_NOINLINE
+#define AUTOSYNCH_ALWAYS_INLINE inline
+#endif
+
+#endif // AUTOSYNCH_SUPPORT_COMPILER_H

@@ -1,0 +1,22 @@
+//===- support/ProcStats.cpp - Process-level OS statistics ----------------===//
+//
+// Part of AutoSynch-C++, a reproduction of "AutoSynch: An Automatic-Signal
+// Monitor Based on Predicate Tagging" (Hung & Garg, PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ProcStats.h"
+
+#include <sys/resource.h>
+
+using namespace autosynch;
+
+ContextSwitches autosynch::readContextSwitches() {
+  struct rusage Usage;
+  ContextSwitches CS;
+  if (getrusage(RUSAGE_SELF, &Usage) == 0) {
+    CS.Voluntary = static_cast<uint64_t>(Usage.ru_nvcsw);
+    CS.Involuntary = static_cast<uint64_t>(Usage.ru_nivcsw);
+  }
+  return CS;
+}

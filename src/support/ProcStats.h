@@ -1,0 +1,39 @@
+//===- support/ProcStats.h - Process-level OS statistics -------*- C++ -*-===//
+//
+// Part of AutoSynch-C++, a reproduction of "AutoSynch: An Automatic-Signal
+// Monitor Based on Predicate Tagging" (Hung & Garg, PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Context-switch counting for the Fig. 15 experiment. The paper reports the
+/// number of context switches of the parameterized bounded-buffer runs; we
+/// obtain the same quantity from getrusage(2) (voluntary + involuntary).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AUTOSYNCH_SUPPORT_PROCSTATS_H
+#define AUTOSYNCH_SUPPORT_PROCSTATS_H
+
+#include <cstdint>
+
+namespace autosynch {
+
+/// Snapshot of the process's context-switch counters.
+struct ContextSwitches {
+  uint64_t Voluntary = 0;
+  uint64_t Involuntary = 0;
+
+  uint64_t total() const { return Voluntary + Involuntary; }
+
+  ContextSwitches operator-(const ContextSwitches &Rhs) const {
+    return {Voluntary - Rhs.Voluntary, Involuntary - Rhs.Involuntary};
+  }
+};
+
+/// Reads the current process-wide context-switch counters.
+ContextSwitches readContextSwitches();
+
+} // namespace autosynch
+
+#endif // AUTOSYNCH_SUPPORT_PROCSTATS_H

@@ -1,0 +1,60 @@
+//===- support/Rng.h - Deterministic pseudo-random numbers -----*- C++ -*-===//
+//
+// Part of AutoSynch-C++, a reproduction of "AutoSynch: An Automatic-Signal
+// Monitor Based on Predicate Tagging" (Hung & Garg, PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// SplitMix64 pseudo-random generator. Deterministic across platforms so
+/// workloads (e.g. the parameterized bounded buffer's random item counts)
+/// and property tests are reproducible from a seed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AUTOSYNCH_SUPPORT_RNG_H
+#define AUTOSYNCH_SUPPORT_RNG_H
+
+#include "support/Check.h"
+
+#include <cstdint>
+
+namespace autosynch {
+
+/// SplitMix64: tiny, fast, and statistically solid enough for workload
+/// generation and property-test case generation.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed) : State(Seed) {}
+
+  /// Returns the next 64 pseudo-random bits.
+  uint64_t next() {
+    State += 0x9e3779b97f4a7c15ULL;
+    uint64_t Z = State;
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+    return Z ^ (Z >> 31);
+  }
+
+  /// Returns a value uniform in [Lo, Hi] (inclusive). Requires Lo <= Hi.
+  int64_t range(int64_t Lo, int64_t Hi) {
+    AUTOSYNCH_CHECK(Lo <= Hi, "Rng::range requires Lo <= Hi");
+    uint64_t Span = static_cast<uint64_t>(Hi - Lo) + 1;
+    if (Span == 0) // Full 64-bit span.
+      return static_cast<int64_t>(next());
+    return Lo + static_cast<int64_t>(next() % Span);
+  }
+
+  /// Returns true with probability Num/Den.
+  bool chance(uint64_t Num, uint64_t Den) {
+    AUTOSYNCH_CHECK(Den > 0 && Num <= Den, "Rng::chance requires Num <= Den");
+    return next() % Den < Num;
+  }
+
+private:
+  uint64_t State;
+};
+
+} // namespace autosynch
+
+#endif // AUTOSYNCH_SUPPORT_RNG_H

@@ -1,0 +1,47 @@
+//===- support/Stats.cpp - Run statistics and timing ----------------------===//
+//
+// Part of AutoSynch-C++, a reproduction of "AutoSynch: An Automatic-Signal
+// Monitor Based on Predicate Tagging" (Hung & Garg, PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Stats.h"
+
+#include "support/Check.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace autosynch;
+
+RunSummary autosynch::summarizeRuns(const std::vector<double> &Samples) {
+  AUTOSYNCH_CHECK(!Samples.empty(), "summarizeRuns requires >= 1 sample");
+
+  std::vector<double> Sorted(Samples);
+  std::sort(Sorted.begin(), Sorted.end());
+
+  RunSummary S;
+  S.Min = Sorted.front();
+  S.Max = Sorted.back();
+
+  // Paper §6.1: "we perform 25 times, and remove the best and the worst
+  // results. Then we compare the average runtime." Only drop when at least
+  // one sample would remain.
+  size_t Lo = 0, Hi = Sorted.size();
+  if (Sorted.size() >= 3) {
+    ++Lo;
+    --Hi;
+  }
+
+  double Sum = 0.0;
+  for (size_t I = Lo; I != Hi; ++I)
+    Sum += Sorted[I];
+  S.Retained = static_cast<int>(Hi - Lo);
+  S.Mean = Sum / S.Retained;
+
+  double Var = 0.0;
+  for (size_t I = Lo; I != Hi; ++I)
+    Var += (Sorted[I] - S.Mean) * (Sorted[I] - S.Mean);
+  S.StdDev = S.Retained > 1 ? std::sqrt(Var / (S.Retained - 1)) : 0.0;
+  return S;
+}

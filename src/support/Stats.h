@@ -1,0 +1,66 @@
+//===- support/Stats.h - Run statistics and timing -------------*- C++ -*-===//
+//
+// Part of AutoSynch-C++, a reproduction of "AutoSynch: An Automatic-Signal
+// Monitor Based on Predicate Tagging" (Hung & Garg, PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Repetition statistics following the paper's methodology (Section 6.1):
+/// run an experiment N times, drop the best and the worst result, and report
+/// the mean of the rest. Also provides a simple wall-clock stopwatch.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AUTOSYNCH_SUPPORT_STATS_H
+#define AUTOSYNCH_SUPPORT_STATS_H
+
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+namespace autosynch {
+
+/// Summary of a set of repeated measurements.
+struct RunSummary {
+  double Mean = 0.0;   ///< Mean after dropping best and worst (paper §6.1).
+  double Min = 0.0;    ///< Minimum over all samples.
+  double Max = 0.0;    ///< Maximum over all samples.
+  double StdDev = 0.0; ///< Standard deviation of the retained samples.
+  int Retained = 0;    ///< Number of samples contributing to Mean.
+};
+
+/// Summarizes \p Samples with the paper's drop-best-and-worst rule.
+///
+/// With fewer than three samples nothing is dropped. Requires at least one
+/// sample.
+RunSummary summarizeRuns(const std::vector<double> &Samples);
+
+/// Wall-clock stopwatch.
+class Stopwatch {
+public:
+  Stopwatch() : Start(Clock::now()) {}
+
+  /// Seconds elapsed since construction or the last restart().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - Start).count();
+  }
+
+  /// Nanoseconds elapsed since construction or the last restart().
+  uint64_t nanos() const {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             Start)
+            .count());
+  }
+
+  void restart() { Start = Clock::now(); }
+
+private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point Start;
+};
+
+} // namespace autosynch
+
+#endif // AUTOSYNCH_SUPPORT_STATS_H

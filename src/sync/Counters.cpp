@@ -1,0 +1,15 @@
+//===- sync/Counters.cpp - Signaling instrumentation counters -------------===//
+//
+// Part of AutoSynch-C++, a reproduction of "AutoSynch: An Automatic-Signal
+// Monitor Based on Predicate Tagging" (Hung & Garg, PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sync/Counters.h"
+
+using namespace autosynch::sync;
+
+Counters &Counters::global() {
+  static Counters Instance;
+  return Instance;
+}

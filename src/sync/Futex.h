@@ -1,0 +1,43 @@
+//===- sync/Futex.h - Raw Linux futex wrappers -----------------*- C++ -*-===//
+//
+// Part of AutoSynch-C++, a reproduction of "AutoSynch: An Automatic-Signal
+// Monitor Based on Predicate Tagging" (Hung & Garg, PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Thin wrappers over the Linux futex(2) system call, used by the futex
+/// backend of the sync substrate. Process-private futexes only.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AUTOSYNCH_SYNC_FUTEX_H
+#define AUTOSYNCH_SYNC_FUTEX_H
+
+#include <atomic>
+#include <cstdint>
+
+#include <linux/futex.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+namespace autosynch::sync {
+
+/// Blocks until \p Word no longer holds \p Expected or the thread is woken.
+/// May return spuriously; callers must re-check their condition.
+inline void futexWait(std::atomic<uint32_t> &Word, uint32_t Expected) {
+  syscall(SYS_futex, reinterpret_cast<uint32_t *>(&Word), FUTEX_WAIT_PRIVATE,
+          Expected, nullptr, nullptr, 0);
+}
+
+/// Wakes up to \p Count threads blocked in futexWait on \p Word.
+/// Returns the number of threads actually woken.
+inline int futexWake(std::atomic<uint32_t> &Word, int Count) {
+  long Woken = syscall(SYS_futex, reinterpret_cast<uint32_t *>(&Word),
+                       FUTEX_WAKE_PRIVATE, Count, nullptr, nullptr, 0);
+  return Woken < 0 ? 0 : static_cast<int>(Woken);
+}
+
+} // namespace autosynch::sync
+
+#endif // AUTOSYNCH_SYNC_FUTEX_H

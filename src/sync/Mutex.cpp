@@ -1,0 +1,224 @@
+//===- sync/Mutex.cpp - Lock/Condition substrate ---------------------------===//
+//
+// Part of AutoSynch-C++, a reproduction of "AutoSynch: An Automatic-Signal
+// Monitor Based on Predicate Tagging" (Hung & Garg, PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sync/Mutex.h"
+
+#include "support/Check.h"
+#include "sync/Counters.h"
+#include "sync/Futex.h"
+
+#include <chrono>
+#include <climits>
+#include <condition_variable>
+#include <mutex>
+
+using namespace autosynch;
+using namespace autosynch::sync;
+
+const char *sync::backendName(Backend B) {
+  switch (B) {
+  case Backend::Std:
+    return "std";
+  case Backend::Futex:
+    return "futex";
+  }
+  AUTOSYNCH_UNREACHABLE("invalid sync backend");
+}
+
+//===----------------------------------------------------------------------===//
+// Std backend
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+class StdMutexImpl final : public detail::MutexImpl {
+public:
+  void lock() override { M.lock(); }
+  void unlock() override { M.unlock(); }
+  bool tryLock() override { return M.try_lock(); }
+
+  std::mutex &raw() { return M; }
+
+private:
+  std::mutex M;
+};
+
+class StdConditionImpl final : public detail::ConditionImpl {
+public:
+  explicit StdConditionImpl(std::mutex &M) : M(M) {}
+
+  void await() override {
+    // The caller already holds M through Mutex::lock(); adopt it so the
+    // condition variable can release and re-acquire it, then hand ownership
+    // back without unlocking.
+    std::unique_lock<std::mutex> Guard(M, std::adopt_lock);
+    CV.wait(Guard);
+    Guard.release();
+  }
+
+  void signal() override { CV.notify_one(); }
+  void signalAll() override { CV.notify_all(); }
+
+private:
+  std::mutex &M;
+  std::condition_variable CV;
+};
+
+//===----------------------------------------------------------------------===//
+// Futex backend
+//===----------------------------------------------------------------------===//
+
+/// Drepper's three-state futex mutex ("Futexes Are Tricky", 2011):
+/// 0 = unlocked, 1 = locked with no waiters, 2 = locked with possible
+/// waiters.
+class FutexMutexImpl final : public detail::MutexImpl {
+public:
+  void lock() override {
+    uint32_t C = 0;
+    if (State.compare_exchange_strong(C, 1, std::memory_order_acquire))
+      return;
+    // Contended path: advertise a waiter by setting state 2, then sleep
+    // until the owner hands the lock over.
+    if (C != 2)
+      C = State.exchange(2, std::memory_order_acquire);
+    while (C != 0) {
+      futexWait(State, 2);
+      C = State.exchange(2, std::memory_order_acquire);
+    }
+  }
+
+  bool tryLock() override {
+    uint32_t C = 0;
+    return State.compare_exchange_strong(C, 1, std::memory_order_acquire);
+  }
+
+  void unlock() override {
+    if (State.fetch_sub(1, std::memory_order_release) != 1) {
+      // There may be waiters (state was 2): fully release and wake one.
+      State.store(0, std::memory_order_release);
+      futexWake(State, 1);
+    }
+  }
+
+private:
+  std::atomic<uint32_t> State{0};
+};
+
+/// Sequence-counter futex condition variable. await() publishes the current
+/// sequence number, releases the mutex, and sleeps until the sequence
+/// changes; each signal bumps the sequence, so a signal issued between the
+/// unlock and the futexWait is never lost (the wait returns immediately on
+/// the value mismatch).
+class FutexConditionImpl final : public detail::ConditionImpl {
+public:
+  explicit FutexConditionImpl(FutexMutexImpl &M) : M(M) {}
+
+  void await() override {
+    uint32_t S = Seq.load(std::memory_order_relaxed);
+    M.unlock();
+    futexWait(Seq, S);
+    M.lock();
+  }
+
+  void signal() override {
+    Seq.fetch_add(1, std::memory_order_release);
+    futexWake(Seq, 1);
+  }
+
+  void signalAll() override {
+    Seq.fetch_add(1, std::memory_order_release);
+    futexWake(Seq, INT_MAX);
+  }
+
+private:
+  std::atomic<uint32_t> Seq{0};
+  FutexMutexImpl &M;
+};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Public wrappers
+//===----------------------------------------------------------------------===//
+
+Mutex::Mutex(Backend B) : Kind(B) {
+  switch (B) {
+  case Backend::Std:
+    Impl = std::make_unique<StdMutexImpl>();
+    return;
+  case Backend::Futex:
+    Impl = std::make_unique<FutexMutexImpl>();
+    return;
+  }
+  AUTOSYNCH_UNREACHABLE("invalid sync backend");
+}
+
+Mutex::~Mutex() = default;
+
+static uint64_t nowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void Mutex::lock() {
+  Counters &G = Counters::global();
+  if (AUTOSYNCH_UNLIKELY(G.timingEnabled())) {
+    uint64_t T0 = nowNs();
+    Impl->lock();
+    G.addLockNs(nowNs() - T0);
+    return;
+  }
+  Impl->lock();
+}
+
+void Mutex::unlock() { Impl->unlock(); }
+bool Mutex::tryLock() { return Impl->tryLock(); }
+
+std::unique_ptr<Condition> Mutex::newCondition() {
+  std::unique_ptr<detail::ConditionImpl> CI;
+  switch (Kind) {
+  case Backend::Std:
+    CI = std::make_unique<StdConditionImpl>(
+        static_cast<StdMutexImpl &>(*Impl).raw());
+    break;
+  case Backend::Futex:
+    CI = std::make_unique<FutexConditionImpl>(
+        static_cast<FutexMutexImpl &>(*Impl));
+    break;
+  }
+  AUTOSYNCH_CHECK(CI != nullptr, "invalid sync backend");
+  // Condition's constructor is private; makeshift make_unique.
+  return std::unique_ptr<Condition>(new Condition(std::move(CI)));
+}
+
+void Condition::await() {
+  ++Awaits;
+  Counters &G = Counters::global();
+  G.onAwait();
+  if (AUTOSYNCH_UNLIKELY(G.timingEnabled())) {
+    uint64_t T0 = nowNs();
+    Impl->await();
+    G.addAwaitNs(nowNs() - T0);
+  } else {
+    Impl->await();
+  }
+  G.onWakeup();
+}
+
+void Condition::signal() {
+  ++Signals;
+  Counters::global().onSignal();
+  Impl->signal();
+}
+
+void Condition::signalAll() {
+  ++SignalAlls;
+  Counters::global().onSignalAll();
+  Impl->signalAll();
+}

@@ -1,0 +1,123 @@
+//===- sync/Mutex.h - Lock/Condition substrate -----------------*- C++ -*-===//
+//
+// Part of AutoSynch-C++, a reproduction of "AutoSynch: An Automatic-Signal
+// Monitor Based on Predicate Tagging" (Hung & Garg, PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The synchronization substrate the monitors are built on. The API mirrors
+/// Java's Lock/Condition (the paper's substrate): a Mutex owns any number of
+/// Conditions created by newCondition(); await/signal/signalAll must be
+/// called while holding the mutex.
+///
+/// Two interchangeable backends:
+///  * Backend::Std   — std::mutex + std::condition_variable.
+///  * Backend::Futex — raw Linux futexes (Drepper-style mutex, sequence-
+///                     counter condition variable).
+///
+/// Spurious wakeups are permitted by both backends; all users wait in
+/// predicate-re-checking loops, exactly as the paper's monitors do.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AUTOSYNCH_SYNC_MUTEX_H
+#define AUTOSYNCH_SYNC_MUTEX_H
+
+#include <cstdint>
+#include <memory>
+
+namespace autosynch::sync {
+
+/// Selects the implementation of Mutex/Condition at construction time.
+enum class Backend : uint8_t {
+  Std,  ///< std::mutex / std::condition_variable.
+  Futex ///< Raw Linux futex implementation.
+};
+
+/// Returns a human-readable backend name ("std" or "futex").
+const char *backendName(Backend B);
+
+namespace detail {
+
+class MutexImpl {
+public:
+  virtual ~MutexImpl() = default;
+  virtual void lock() = 0;
+  virtual void unlock() = 0;
+  virtual bool tryLock() = 0;
+};
+
+class ConditionImpl {
+public:
+  virtual ~ConditionImpl() = default;
+  virtual void await() = 0;
+  virtual void signal() = 0;
+  virtual void signalAll() = 0;
+};
+
+} // namespace detail
+
+class Condition;
+
+/// A non-reentrant mutual-exclusion lock with Java's Lock shape.
+class Mutex {
+public:
+  explicit Mutex(Backend B = Backend::Std);
+  ~Mutex();
+  Mutex(const Mutex &) = delete;
+  Mutex &operator=(const Mutex &) = delete;
+
+  void lock();
+  void unlock();
+
+  /// Attempts to acquire without blocking. Returns true on success.
+  bool tryLock();
+
+  /// Creates a condition variable bound to this mutex. The mutex must
+  /// outlive the condition.
+  std::unique_ptr<Condition> newCondition();
+
+  Backend backend() const { return Kind; }
+
+private:
+  Backend Kind;
+  std::unique_ptr<detail::MutexImpl> Impl;
+};
+
+/// A condition variable bound to a Mutex. All member functions require the
+/// bound mutex to be held by the calling thread.
+class Condition {
+public:
+  /// Atomically releases the mutex and blocks until signaled (or a spurious
+  /// wakeup); re-acquires the mutex before returning.
+  void await();
+
+  /// Wakes at least one waiting thread, if any are waiting.
+  void signal();
+
+  /// Wakes all waiting threads. Counted separately so benches can prove the
+  /// AutoSynch policies never use it.
+  void signalAll();
+
+  /// Number of await calls on this condition (updated under the mutex).
+  uint64_t awaitCount() const { return Awaits; }
+  /// Number of signal calls on this condition.
+  uint64_t signalCount() const { return Signals; }
+  /// Number of signalAll calls on this condition.
+  uint64_t signalAllCount() const { return SignalAlls; }
+
+private:
+  friend class Mutex;
+  explicit Condition(std::unique_ptr<detail::ConditionImpl> Impl)
+      : Impl(std::move(Impl)) {}
+
+  std::unique_ptr<detail::ConditionImpl> Impl;
+  uint64_t Awaits = 0;
+  uint64_t Signals = 0;
+  uint64_t SignalAlls = 0;
+};
+
+} // namespace autosynch::sync
+
+#endif // AUTOSYNCH_SYNC_MUTEX_H

@@ -1,0 +1,131 @@
+//===- tag/Tag.cpp - Predicate tags (paper Section 4.3) --------------------===//
+//
+// Part of AutoSynch-C++, a reproduction of "AutoSynch: An Automatic-Signal
+// Monitor Based on Predicate Tagging" (Hung & Garg, PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "tag/Tag.h"
+
+#include "dnf/CanonicalAtom.h"
+#include "expr/Printer.h"
+#include "expr/Subst.h"
+
+#include <algorithm>
+
+using namespace autosynch;
+
+const char *autosynch::tagKindName(TagKind K) {
+  switch (K) {
+  case TagKind::Equivalence:
+    return "equivalence";
+  case TagKind::Threshold:
+    return "threshold";
+  case TagKind::None:
+    return "none";
+  }
+  AUTOSYNCH_UNREACHABLE("invalid TagKind");
+}
+
+std::string Tag::toString(const SymbolTable &Syms) const {
+  if (Kind == TagKind::None)
+    return "(none)";
+  std::string S = "(";
+  S += tagKindName(Kind);
+  S += ", ";
+  S += printExpr(SharedExpr, Syms);
+  S += ", ";
+  S += std::to_string(Key);
+  if (Kind == TagKind::Threshold) {
+    S += ", ";
+    S += exprKindSpelling(Op);
+  }
+  S += ")";
+  return S;
+}
+
+namespace {
+
+/// True when every variable in \p E is Shared-scoped (tags are only usable
+/// when any thread in the monitor can evaluate the shared expression).
+bool allShared(ExprRef E, const SymbolTable &Syms) {
+  return !isComplex(E, Syms);
+}
+
+/// Tries to view \p Atom as an equivalence or threshold over a shared
+/// linear form; also recognizes boolean shared variables (`b`, `!b`) as
+/// equivalences with keys 1/0.
+bool classifyAtom(ExprArena &Arena, ExprRef Atom, const SymbolTable &Syms,
+                  Tag &Out) {
+  // Boolean variable forms.
+  if (Atom->kind() == ExprKind::Var && Atom->type() == TypeKind::Bool) {
+    if (!Syms.isShared(Atom->varId()))
+      return false;
+    Out = Tag{TagKind::Equivalence, Atom, 1, ExprKind::Eq};
+    return true;
+  }
+  if (Atom->kind() == ExprKind::Not &&
+      Atom->lhs()->kind() == ExprKind::Var) {
+    if (!Syms.isShared(Atom->lhs()->varId()))
+      return false;
+    Out = Tag{TagKind::Equivalence, Atom->lhs(), 0, ExprKind::Eq};
+    return true;
+  }
+
+  AtomCanonResult R = canonicalizeAtom(Atom);
+  if (R.Kind != AtomCanonKind::Atom)
+    return false;
+  ExprRef Shared = linearFormToExpr(Arena, R.Atom.Lhs);
+  if (!allShared(Shared, Syms))
+    return false;
+
+  switch (R.Atom.Op) {
+  case ExprKind::Eq:
+    Out = Tag{TagKind::Equivalence, Shared, R.Atom.Rhs, ExprKind::Eq};
+    return true;
+  case ExprKind::Le:
+  case ExprKind::Ge:
+  case ExprKind::Lt:
+  case ExprKind::Gt:
+    Out = Tag{TagKind::Threshold, Shared, R.Atom.Rhs, R.Atom.Op};
+    return true;
+  default:
+    // Ne is neither an equivalence nor a threshold (paper Defs. 6-7).
+    return false;
+  }
+}
+
+} // namespace
+
+Tag autosynch::deriveTag(ExprArena &Arena, const Conjunction &C,
+                         const SymbolTable &Syms) {
+  // Paper Fig. 3: prefer an equivalence atom; fall back to a threshold
+  // atom; otherwise None. Only one tag per conjunction — more would not
+  // speed up the search (§4.3.1).
+  Tag Threshold;
+  bool HaveThreshold = false;
+
+  for (ExprRef Atom : C.Atoms) {
+    Tag T;
+    if (!classifyAtom(Arena, Atom, Syms, T))
+      continue;
+    if (T.Kind == TagKind::Equivalence)
+      return T;
+    if (!HaveThreshold) {
+      Threshold = T;
+      HaveThreshold = true;
+    }
+  }
+  return HaveThreshold ? Threshold : Tag{};
+}
+
+std::vector<Tag> autosynch::deriveTags(ExprArena &Arena, const Dnf &D,
+                                       const SymbolTable &Syms) {
+  std::vector<Tag> Tags;
+  for (const Conjunction &C : D.Conjs) {
+    Tag T = deriveTag(Arena, C, Syms);
+    if (std::find(Tags.begin(), Tags.end(), T) == Tags.end())
+      Tags.push_back(T);
+  }
+  return Tags;
+}

@@ -1,0 +1,175 @@
+//===- tag/TagIndex.h - Per-expression tag indices (paper Fig. 7) -*- C++ -*-===//
+//
+// Part of AutoSynch-C++, a reproduction of "AutoSynch: An Automatic-Signal
+// Monitor Based on Predicate Tagging" (Hung & Garg, PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The condition manager's tag storage (paper Fig. 7): for every distinct
+/// shared expression, an equivalence hash table keyed by the globalized
+/// value, plus a lower-bound min-heap and an upper-bound max-heap of
+/// threshold tags; untaggable predicates go to the None list and are
+/// scanned exhaustively, last.
+///
+/// findTrue() is the search half of relay signaling: given the monitor's
+/// current state it returns some registered record whose predicate is true,
+/// or null — with as few predicate evaluations as the tags allow.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AUTOSYNCH_TAG_TAGINDEX_H
+#define AUTOSYNCH_TAG_TAGINDEX_H
+
+#include "tag/Tag.h"
+#include "tag/ThresholdHeap.h"
+
+#include <unordered_map>
+
+namespace autosynch {
+
+/// Tag-directed index of records (registered predicates). RecordT is
+/// supplied by the condition manager; tests instantiate it with a stub.
+template <typename RecordT> class TagIndex {
+public:
+  /// Registers \p R under \p T.
+  void add(const Tag &T, RecordT *R) {
+    if (T.Kind == TagKind::None) {
+      AUTOSYNCH_CHECK(NonePos.find(R) == NonePos.end(),
+                      "record already in the None list");
+      NonePos[R] = NoneList.size();
+      NoneList.push_back(R);
+      return;
+    }
+
+    PerExpr &P = byExpr(T.SharedExpr);
+    if (T.Kind == TagKind::Equivalence) {
+      P.Eq[T.Key].push_back(R);
+      return;
+    }
+    heapFor(P, T).add(T.Key, isStrictOp(T.Op), R);
+  }
+
+  /// Unregisters \p R from \p T (must match a prior add).
+  void remove(const Tag &T, RecordT *R) {
+    if (T.Kind == TagKind::None) {
+      auto It = NonePos.find(R);
+      AUTOSYNCH_CHECK(It != NonePos.end(), "record not in the None list");
+      size_t Pos = It->second;
+      NoneList[Pos] = NoneList.back();
+      NonePos[NoneList.back()] = Pos;
+      NoneList.pop_back();
+      NonePos.erase(It);
+      return;
+    }
+
+    auto ExprIt = Exprs.find(T.SharedExpr);
+    AUTOSYNCH_CHECK(ExprIt != Exprs.end(), "removing an unregistered tag");
+    PerExpr &P = ExprIt->second;
+    if (T.Kind == TagKind::Equivalence) {
+      auto BucketIt = P.Eq.find(T.Key);
+      AUTOSYNCH_CHECK(BucketIt != P.Eq.end(),
+                      "removing an unregistered equivalence tag");
+      std::vector<RecordT *> &Bucket = BucketIt->second;
+      auto Pos = std::find(Bucket.begin(), Bucket.end(), R);
+      AUTOSYNCH_CHECK(Pos != Bucket.end(),
+                      "removing an unregistered record");
+      *Pos = Bucket.back();
+      Bucket.pop_back();
+      if (Bucket.empty())
+        P.Eq.erase(BucketIt);
+    } else {
+      heapFor(P, T).remove(T.Key, isStrictOp(T.Op), R);
+    }
+    if (P.Eq.empty() && P.LowerBound.empty() && P.UpperBound.empty())
+      Exprs.erase(ExprIt);
+  }
+
+  /// Searches for a record whose predicate is true.
+  ///
+  /// \p EvalShared maps a shared expression to its current int64 value
+  /// (bool expressions as 0/1); \p IsTrue is the full predicate check.
+  /// Order (paper Fig. 7): per shared expression, the equivalence bucket
+  /// for the current value, then the two threshold heaps; finally the None
+  /// list, exhaustively.
+  template <typename EvalSharedFn, typename IsTrueFn>
+  RecordT *findTrue(EvalSharedFn &&EvalShared, IsTrueFn &&IsTrue,
+                    TagSearchStats *Stats = nullptr) {
+    for (auto &[SharedExpr, P] : Exprs) {
+      int64_t V = EvalShared(SharedExpr);
+      if (Stats)
+        ++Stats->SharedExprEvals;
+
+      // Equivalence hash: at most one bucket can be true for this value
+      // (§4.3.2), found in O(1).
+      if (!P.Eq.empty()) {
+        if (Stats)
+          ++Stats->EqLookups;
+        auto BucketIt = P.Eq.find(V);
+        if (BucketIt != P.Eq.end()) {
+          for (RecordT *R : BucketIt->second) {
+            if (Stats)
+              ++Stats->PredicateChecks;
+            if (IsTrue(R))
+              return R;
+          }
+        }
+      }
+
+      if (RecordT *R = P.LowerBound.search(V, IsTrue, Stats))
+        return R;
+      if (RecordT *R = P.UpperBound.search(V, IsTrue, Stats))
+        return R;
+    }
+
+    // Exhaustive fallback over untaggable predicates.
+    for (RecordT *R : NoneList) {
+      if (Stats) {
+        ++Stats->NoneScans;
+        ++Stats->PredicateChecks;
+      }
+      if (IsTrue(R))
+        return R;
+    }
+    return nullptr;
+  }
+
+  /// Number of distinct shared expressions currently indexed.
+  size_t numSharedExprs() const { return Exprs.size(); }
+  /// Number of records in the None list.
+  size_t noneListSize() const { return NoneList.size(); }
+  bool empty() const { return Exprs.empty() && NoneList.empty(); }
+
+private:
+  struct PerExpr {
+    std::unordered_map<int64_t, std::vector<RecordT *>> Eq;
+    ThresholdHeap<RecordT> LowerBound{
+        ThresholdHeap<RecordT>::Direction::LowerBound};
+    ThresholdHeap<RecordT> UpperBound{
+        ThresholdHeap<RecordT>::Direction::UpperBound};
+  };
+
+  static bool isStrictOp(ExprKind Op) {
+    return Op == ExprKind::Lt || Op == ExprKind::Gt;
+  }
+
+  static bool isLowerBoundOp(ExprKind Op) {
+    return Op == ExprKind::Ge || Op == ExprKind::Gt;
+  }
+
+  ThresholdHeap<RecordT> &heapFor(PerExpr &P, const Tag &T) {
+    AUTOSYNCH_CHECK(T.Kind == TagKind::Threshold,
+                    "heapFor requires a threshold tag");
+    return isLowerBoundOp(T.Op) ? P.LowerBound : P.UpperBound;
+  }
+
+  PerExpr &byExpr(ExprRef SharedExpr) { return Exprs[SharedExpr]; }
+
+  std::unordered_map<ExprRef, PerExpr> Exprs;
+  std::vector<RecordT *> NoneList;
+  std::unordered_map<RecordT *, size_t> NonePos;
+};
+
+} // namespace autosynch
+
+#endif // AUTOSYNCH_TAG_TAGINDEX_H

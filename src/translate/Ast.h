@@ -1,0 +1,120 @@
+//===- translate/Ast.h - Monitor-language AST ------------------*- C++ -*-===//
+//
+// Part of AutoSynch-C++, a reproduction of "AutoSynch: An Automatic-Signal
+// Monitor Based on Predicate Tagging" (Hung & Garg, PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Abstract syntax of the AutoSynch monitor language — the input of the
+/// `autosynchc` source-to-source translator, our reproduction of the
+/// paper's JavaCC preprocessor (Fig. 2). A `.asynch` file declares
+/// monitors in the paper's Fig. 1 style:
+///
+/// \code
+///   monitor BoundedBuffer(int capacity) {
+///     shared int count = 0;
+///
+///     method put(int items) {
+///       waituntil(count + items <= capacity);
+///       count = count + items;
+///     }
+///
+///     method take(int num) returns int {
+///       waituntil(count >= num);
+///       count = count - num;
+///       return num;
+///     }
+///   }
+/// \endcode
+///
+/// Expressions are the shared predicate language (expr/); each method owns
+/// an ExprArena + SymbolTable so identical names in different methods do
+/// not collide.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AUTOSYNCH_TRANSLATE_AST_H
+#define AUTOSYNCH_TRANSLATE_AST_H
+
+#include "expr/ExprArena.h"
+#include "expr/SymbolTable.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace autosynch::translate {
+
+/// Statement kinds of the method body language.
+enum class StmtKind : uint8_t {
+  WaitUntil, ///< waituntil(P);
+  Assign,    ///< name = expr;
+  LocalDecl, ///< int name = expr; | bool name = expr;
+  If,        ///< if (cond) stmt [else stmt]
+  While,     ///< while (cond) stmt
+  Return,    ///< return [expr];
+  Block      ///< { stmt* }
+};
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+struct Stmt {
+  StmtKind Kind;
+  int Line = 0;
+
+  /// WaitUntil / Return (may be null) / If / While condition / Assign RHS /
+  /// LocalDecl initializer.
+  ExprRef Expr = nullptr;
+
+  /// Assign target or LocalDecl name.
+  VarId Target = 0;
+
+  /// If: [then, else?]; While: [body]; Block: children.
+  std::vector<StmtPtr> Children;
+};
+
+/// A constructor or method parameter.
+struct Param {
+  std::string Name;
+  TypeKind Type = TypeKind::Int;
+  VarId Id = 0;
+};
+
+struct MethodDecl {
+  std::string Name;
+  std::vector<Param> Params;
+  bool HasReturn = false;
+  TypeKind ReturnType = TypeKind::Int;
+  std::vector<StmtPtr> Body;
+
+  /// Per-method expression context: shared variables (re-declared here
+  /// with per-method ids) plus this method's params and locals.
+  std::unique_ptr<ExprArena> Arena;
+  std::unique_ptr<SymbolTable> Syms;
+};
+
+struct SharedDecl {
+  std::string Name;
+  TypeKind Type = TypeKind::Int;
+  /// Initializer literal; shared initializers are compile-time constants.
+  int64_t IntInit = 0;
+  bool BoolInit = false;
+};
+
+struct MonitorDecl {
+  std::string Name;
+  std::vector<Param> CtorParams; ///< Become constant shared variables.
+  std::vector<SharedDecl> Shared;
+  std::vector<MethodDecl> Methods;
+};
+
+/// A parsed `.asynch` translation unit.
+struct TranslationUnit {
+  std::vector<MonitorDecl> Monitors;
+};
+
+} // namespace autosynch::translate
+
+#endif // AUTOSYNCH_TRANSLATE_AST_H

@@ -1,0 +1,40 @@
+//===- translate/CodeGen.h - C++ code generation ---------------*- C++ -*-===//
+//
+// Part of AutoSynch-C++, a reproduction of "AutoSynch: An Automatic-Signal
+// Monitor Based on Predicate Tagging" (Hung & Garg, PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The back half of the autosynchc translator (the paper's preprocessor,
+/// Fig. 2): emits one C++ class per monitor declaration, deriving
+/// autosynch::Monitor. Mirrors the paper's Fig. 5/6 transformation:
+///
+///  * shared declarations become Shared<T> members (registered monitor
+///    state);
+///  * every method body is wrapped in a Region (lock/unlock insertion);
+///  * `waituntil(P)` becomes `waitUntil("P", locals()...bindings...)`,
+///    carrying exactly the local variables P mentions — the runtime
+///    globalizes them per call (§4.1);
+///  * static shared predicates are registered eagerly in the constructor
+///    (Fig. 5).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AUTOSYNCH_TRANSLATE_CODEGEN_H
+#define AUTOSYNCH_TRANSLATE_CODEGEN_H
+
+#include "translate/Ast.h"
+
+#include <string>
+
+namespace autosynch::translate {
+
+/// Renders the generated C++ header for \p Unit. \p SourceName appears in
+/// the banner and include guard.
+std::string generateCpp(const TranslationUnit &Unit,
+                        std::string_view SourceName);
+
+} // namespace autosynch::translate
+
+#endif // AUTOSYNCH_TRANSLATE_CODEGEN_H

@@ -1,0 +1,580 @@
+//===- translate/Parser.cpp - Monitor-language parser -----------------------===//
+//
+// Part of AutoSynch-C++, a reproduction of "AutoSynch: An Automatic-Signal
+// Monitor Based on Predicate Tagging" (Hung & Garg, PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "translate/Parser.h"
+
+#include "parse/Lexer.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+using namespace autosynch;
+using namespace autosynch::translate;
+
+namespace {
+
+/// Recursive-descent parser over the pre-lexed token stream. Expression
+/// positions are parsed by slicing the source between the current token and
+/// the statement's terminator and handing the slice to the predicate-
+/// language parser with the method's symbol table.
+class MonitorParser {
+public:
+  explicit MonitorParser(std::string_view Source) : Source(Source) {
+    Lexer L(Source);
+    // Materialize tokens with their source offsets so expression slices
+    // can be cut from the original text.
+    for (Token T = L.next();; T = L.next()) {
+      Offsets.push_back(
+          static_cast<size_t>(T.Spelling.data() - Source.data()));
+      Tokens.push_back(T);
+      if (T.is(TokenKind::Eof))
+        break;
+    }
+  }
+
+  ParseUnitResult run() {
+    ParseUnitResult Result;
+    while (!at(TokenKind::Eof) && Errors.size() < MaxErrors) {
+      if (!at(TokenKind::KwMonitor)) {
+        error("expected 'monitor'");
+        break;
+      }
+      MonitorDecl M;
+      if (parseMonitor(M))
+        Result.Unit.Monitors.push_back(std::move(M));
+      else
+        break; // Structural recovery across monitors is not attempted.
+    }
+    if (Result.Unit.Monitors.empty() && Errors.empty())
+      error("input declares no monitors");
+    Result.Errors = std::move(Errors);
+    if (!Result.Errors.empty())
+      Result.Unit.Monitors.clear();
+    return Result;
+  }
+
+private:
+  static constexpr size_t MaxErrors = 20;
+
+  //===--------------------------------------------------------------------===//
+  // Token plumbing
+  //===--------------------------------------------------------------------===//
+
+  const Token &tok(size_t Ahead = 0) const {
+    size_t I = Pos + Ahead;
+    return Tokens[I < Tokens.size() ? I : Tokens.size() - 1];
+  }
+  bool at(TokenKind K) const { return tok().is(K); }
+  void advance() {
+    if (Pos + 1 < Tokens.size())
+      ++Pos;
+  }
+
+  bool expect(TokenKind K, const char *What) {
+    if (at(K)) {
+      advance();
+      return true;
+    }
+    error(std::string("expected ") + What + ", got " +
+          tokenKindName(tok().Kind));
+    return false;
+  }
+
+  void error(const std::string &Message) {
+    Errors.push_back(ParseError{tok().Line, tok().Col, Message});
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Declarations
+  //===--------------------------------------------------------------------===//
+
+  bool parseType(TypeKind &Out) {
+    if (at(TokenKind::KwInt)) {
+      Out = TypeKind::Int;
+      advance();
+      return true;
+    }
+    if (at(TokenKind::KwBool)) {
+      Out = TypeKind::Bool;
+      advance();
+      return true;
+    }
+    error("expected a type ('int' or 'bool')");
+    return false;
+  }
+
+  bool parseName(std::string &Out, const char *What) {
+    if (!at(TokenKind::Identifier)) {
+      error(std::string("expected ") + What + ", got " +
+            tokenKindName(tok().Kind));
+      return false;
+    }
+    Out = std::string(tok().Spelling);
+    // Names that would collide with the generated class's inherited
+    // Monitor API are rejected up front.
+    static const std::unordered_set<std::string> Reserved = {
+        "waitUntil", "Region",  "Shared",       "local",
+        "locals",    "lit",     "blit",         "synchronized",
+        "registerPredicate",    "conditionManager",
+        "arena",     "symbols", "config",       "Monitor"};
+    if (Reserved.count(Out)) {
+      error("'" + Out + "' is reserved by the autosynch runtime");
+      return false;
+    }
+    advance();
+    return true;
+  }
+
+  bool parseMonitor(MonitorDecl &M) {
+    advance(); // 'monitor'
+    if (!parseName(M.Name, "a monitor name"))
+      return false;
+
+    if (at(TokenKind::LParen)) {
+      advance();
+      if (!at(TokenKind::RParen) && !parseParamList(M.CtorParams))
+        return false;
+      if (!expect(TokenKind::RParen, "')'"))
+        return false;
+    }
+    if (!expect(TokenKind::LBrace, "'{'"))
+      return false;
+
+    while (!at(TokenKind::RBrace) && !at(TokenKind::Eof) &&
+           Errors.size() < MaxErrors) {
+      if (at(TokenKind::KwShared)) {
+        if (!parseSharedDecl(M))
+          return false;
+      } else if (at(TokenKind::KwMethod)) {
+        if (!parseMethod(M))
+          return false;
+      } else {
+        error("expected 'shared' or 'method'");
+        return false;
+      }
+    }
+    if (!expect(TokenKind::RBrace, "'}'"))
+      return false;
+
+    // Local names must have one type across methods: the runtime monitor
+    // declares parsed-predicate locals monitor-wide by name.
+    std::unordered_map<std::string, TypeKind> LocalTypes;
+    for (const MethodDecl &Method : M.Methods) {
+      for (const VarInfo &Info : Method.Syms->variables()) {
+        if (Info.Scope != VarScope::Local)
+          continue;
+        auto [It, Inserted] = LocalTypes.emplace(Info.Name, Info.Type);
+        if (!Inserted && It->second != Info.Type) {
+          error("local variable '" + Info.Name +
+                "' is declared with different types in different methods");
+          return false;
+        }
+      }
+    }
+    return true;
+  }
+
+  bool parseParamList(std::vector<Param> &Params) {
+    while (true) {
+      Param P;
+      if (!parseType(P.Type) || !parseName(P.Name, "a parameter name"))
+        return false;
+      Params.push_back(std::move(P));
+      if (!at(TokenKind::Comma))
+        return true;
+      advance();
+    }
+  }
+
+  bool parseSharedDecl(MonitorDecl &M) {
+    advance(); // 'shared'
+    SharedDecl D;
+    if (!parseType(D.Type) || !parseName(D.Name, "a variable name"))
+      return false;
+
+    for (const SharedDecl &Existing : M.Shared) {
+      if (Existing.Name == D.Name) {
+        error("redeclaration of shared variable '" + D.Name + "'");
+        return false;
+      }
+    }
+    for (const Param &P : M.CtorParams) {
+      if (P.Name == D.Name) {
+        error("shared variable '" + D.Name +
+              "' collides with a constructor parameter");
+        return false;
+      }
+    }
+
+    if (at(TokenKind::Assign)) {
+      advance();
+      // Initializers are literals (optionally negated ints).
+      bool Negative = false;
+      if (at(TokenKind::Minus)) {
+        Negative = true;
+        advance();
+      }
+      if (at(TokenKind::IntLiteral) && D.Type == TypeKind::Int) {
+        D.IntInit = Negative ? -tok().IntValue : tok().IntValue;
+        advance();
+      } else if ((at(TokenKind::KwTrue) || at(TokenKind::KwFalse)) &&
+                 D.Type == TypeKind::Bool && !Negative) {
+        D.BoolInit = at(TokenKind::KwTrue);
+        advance();
+      } else {
+        error("shared initializer must be a literal of the declared type");
+        return false;
+      }
+    }
+    if (!expect(TokenKind::Semicolon, "';'"))
+      return false;
+    M.Shared.push_back(std::move(D));
+    return true;
+  }
+
+  bool parseMethod(MonitorDecl &M) {
+    advance(); // 'method'
+    MethodDecl Method;
+    Method.Arena = std::make_unique<ExprArena>();
+    Method.Syms = std::make_unique<SymbolTable>();
+    if (!parseName(Method.Name, "a method name"))
+      return false;
+    for (const MethodDecl &Existing : M.Methods) {
+      if (Existing.Name == Method.Name) {
+        error("redeclaration of method '" + Method.Name + "'");
+        return false;
+      }
+    }
+
+    if (!expect(TokenKind::LParen, "'('"))
+      return false;
+    if (!at(TokenKind::RParen) && !parseParamList(Method.Params))
+      return false;
+    if (!expect(TokenKind::RParen, "')'"))
+      return false;
+
+    if (at(TokenKind::KwReturns)) {
+      advance();
+      Method.HasReturn = true;
+      if (!parseType(Method.ReturnType))
+        return false;
+    }
+
+    // Populate the method's symbol table: monitor state first (shared
+    // scope), then parameters (local scope — the paper's globalization
+    // boundary).
+    for (const Param &P : M.CtorParams)
+      Method.Syms->declare(P.Name, P.Type, VarScope::Shared);
+    for (const SharedDecl &D : M.Shared)
+      Method.Syms->declare(D.Name, D.Type, VarScope::Shared);
+    for (Param &P : Method.Params) {
+      if (Method.Syms->lookup(P.Name)) {
+        error("parameter '" + P.Name + "' shadows another variable");
+        return false;
+      }
+      P.Id = Method.Syms->declare(P.Name, P.Type, VarScope::Local);
+    }
+
+    if (!expect(TokenKind::LBrace, "'{'"))
+      return false;
+    CurrentMethod = &Method;
+    bool Ok = parseStmtList(Method.Body, TokenKind::RBrace);
+    CurrentMethod = nullptr;
+    if (!Ok)
+      return false;
+    if (!expect(TokenKind::RBrace, "'}'"))
+      return false;
+    M.Methods.push_back(std::move(Method));
+    return true;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Statements
+  //===--------------------------------------------------------------------===//
+
+  bool parseStmtList(std::vector<StmtPtr> &Out, TokenKind Terminator) {
+    while (!at(Terminator) && !at(TokenKind::Eof) &&
+           Errors.size() < MaxErrors) {
+      StmtPtr S = parseStmt();
+      if (!S)
+        return false;
+      Out.push_back(std::move(S));
+    }
+    return true;
+  }
+
+  StmtPtr parseStmt() {
+    switch (tok().Kind) {
+    case TokenKind::KwWaituntil:
+      return parseWaitUntil();
+    case TokenKind::KwInt:
+    case TokenKind::KwBool:
+      return parseLocalDecl();
+    case TokenKind::KwIf:
+      return parseIf();
+    case TokenKind::KwWhile:
+      return parseWhile();
+    case TokenKind::KwReturn:
+      return parseReturn();
+    case TokenKind::LBrace:
+      return parseBlock();
+    case TokenKind::Identifier:
+      return parseAssign();
+    default:
+      error(std::string("expected a statement, got ") +
+            tokenKindName(tok().Kind));
+      return nullptr;
+    }
+  }
+
+  StmtPtr parseWaitUntil() {
+    auto S = std::make_unique<Stmt>();
+    S->Kind = StmtKind::WaitUntil;
+    S->Line = tok().Line;
+    advance(); // 'waituntil'
+    if (!expect(TokenKind::LParen, "'('"))
+      return nullptr;
+    S->Expr = parseExprUntilCloseParen();
+    if (!S->Expr)
+      return nullptr;
+    if (S->Expr->type() != TypeKind::Bool) {
+      error("waituntil predicate must be bool-typed");
+      return nullptr;
+    }
+    if (!expect(TokenKind::RParen, "')'") ||
+        !expect(TokenKind::Semicolon, "';'"))
+      return nullptr;
+    return S;
+  }
+
+  StmtPtr parseLocalDecl() {
+    auto S = std::make_unique<Stmt>();
+    S->Kind = StmtKind::LocalDecl;
+    S->Line = tok().Line;
+    TypeKind Ty;
+    std::string Name;
+    if (!parseType(Ty) || !parseName(Name, "a variable name"))
+      return nullptr;
+    if (CurrentMethod->Syms->lookup(Name)) {
+      error("redeclaration of '" + Name + "'");
+      return nullptr;
+    }
+    if (!expect(TokenKind::Assign, "'='"))
+      return nullptr;
+    S->Expr = parseExprUntilSemicolon();
+    if (!S->Expr)
+      return nullptr;
+    if (S->Expr->type() != Ty) {
+      error("initializer type does not match '" + Name + "'");
+      return nullptr;
+    }
+    if (!expect(TokenKind::Semicolon, "';'"))
+      return nullptr;
+    // Declare after parsing the initializer: `int x = x;` is an error.
+    S->Target = CurrentMethod->Syms->declare(Name, Ty, VarScope::Local);
+    return S;
+  }
+
+  StmtPtr parseAssign() {
+    auto S = std::make_unique<Stmt>();
+    S->Kind = StmtKind::Assign;
+    S->Line = tok().Line;
+    std::string Name(tok().Spelling);
+    const VarInfo *Info = CurrentMethod->Syms->lookup(Name);
+    if (!Info) {
+      error("assignment to undeclared variable '" + Name + "'");
+      return nullptr;
+    }
+    S->Target = Info->Id;
+    advance();
+    if (!expect(TokenKind::Assign, "'='"))
+      return nullptr;
+    S->Expr = parseExprUntilSemicolon();
+    if (!S->Expr)
+      return nullptr;
+    if (S->Expr->type() != Info->Type) {
+      error("assigned value type does not match '" + Name + "'");
+      return nullptr;
+    }
+    if (!expect(TokenKind::Semicolon, "';'"))
+      return nullptr;
+    return S;
+  }
+
+  StmtPtr parseIf() {
+    auto S = std::make_unique<Stmt>();
+    S->Kind = StmtKind::If;
+    S->Line = tok().Line;
+    advance(); // 'if'
+    if (!expect(TokenKind::LParen, "'('"))
+      return nullptr;
+    S->Expr = parseExprUntilCloseParen();
+    if (!S->Expr)
+      return nullptr;
+    if (S->Expr->type() != TypeKind::Bool) {
+      error("if condition must be bool-typed");
+      return nullptr;
+    }
+    if (!expect(TokenKind::RParen, "')'"))
+      return nullptr;
+    StmtPtr Then = parseStmt();
+    if (!Then)
+      return nullptr;
+    S->Children.push_back(std::move(Then));
+    if (at(TokenKind::KwElse)) {
+      advance();
+      StmtPtr Else = parseStmt();
+      if (!Else)
+        return nullptr;
+      S->Children.push_back(std::move(Else));
+    }
+    return S;
+  }
+
+  StmtPtr parseWhile() {
+    auto S = std::make_unique<Stmt>();
+    S->Kind = StmtKind::While;
+    S->Line = tok().Line;
+    advance(); // 'while'
+    if (!expect(TokenKind::LParen, "'('"))
+      return nullptr;
+    S->Expr = parseExprUntilCloseParen();
+    if (!S->Expr)
+      return nullptr;
+    if (S->Expr->type() != TypeKind::Bool) {
+      error("while condition must be bool-typed");
+      return nullptr;
+    }
+    if (!expect(TokenKind::RParen, "')'"))
+      return nullptr;
+    StmtPtr Body = parseStmt();
+    if (!Body)
+      return nullptr;
+    S->Children.push_back(std::move(Body));
+    return S;
+  }
+
+  StmtPtr parseReturn() {
+    auto S = std::make_unique<Stmt>();
+    S->Kind = StmtKind::Return;
+    S->Line = tok().Line;
+    advance(); // 'return'
+    if (!at(TokenKind::Semicolon)) {
+      S->Expr = parseExprUntilSemicolon();
+      if (!S->Expr)
+        return nullptr;
+    }
+    if (CurrentMethod->HasReturn) {
+      if (!S->Expr) {
+        error("method declares a return type; 'return' needs a value");
+        return nullptr;
+      }
+      if (S->Expr->type() != CurrentMethod->ReturnType) {
+        error("return value type does not match the declared return type");
+        return nullptr;
+      }
+    } else if (S->Expr) {
+      error("void method cannot return a value");
+      return nullptr;
+    }
+    if (!expect(TokenKind::Semicolon, "';'"))
+      return nullptr;
+    return S;
+  }
+
+  StmtPtr parseBlock() {
+    auto S = std::make_unique<Stmt>();
+    S->Kind = StmtKind::Block;
+    S->Line = tok().Line;
+    advance(); // '{'
+    if (!parseStmtList(S->Children, TokenKind::RBrace))
+      return nullptr;
+    if (!expect(TokenKind::RBrace, "'}'"))
+      return nullptr;
+    return S;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Expression slices
+  //===--------------------------------------------------------------------===//
+
+  /// Parses the expression starting at the current token and ending just
+  /// before the matching ')' of an already-consumed '('. Leaves the parser
+  /// positioned at that ')'.
+  ExprRef parseExprUntilCloseParen() {
+    size_t End = Pos;
+    int Depth = 0;
+    while (End < Tokens.size() && !Tokens[End].is(TokenKind::Eof)) {
+      if (Tokens[End].is(TokenKind::LParen)) {
+        ++Depth;
+      } else if (Tokens[End].is(TokenKind::RParen)) {
+        if (Depth == 0)
+          break;
+        --Depth;
+      }
+      ++End;
+    }
+    return parseSlice(End);
+  }
+
+  /// Parses the expression ending just before the next ';' at paren depth
+  /// zero. Leaves the parser positioned at that ';'.
+  ExprRef parseExprUntilSemicolon() {
+    size_t End = Pos;
+    int Depth = 0;
+    while (End < Tokens.size() && !Tokens[End].is(TokenKind::Eof)) {
+      if (Tokens[End].is(TokenKind::LParen))
+        ++Depth;
+      else if (Tokens[End].is(TokenKind::RParen))
+        --Depth;
+      else if (Tokens[End].is(TokenKind::Semicolon) && Depth == 0)
+        break;
+      ++End;
+    }
+    return parseSlice(End);
+  }
+
+  /// Hands Source[Pos..End) to the predicate-language parser under the
+  /// current method's symbol table, then advances past the slice.
+  ExprRef parseSlice(size_t End) {
+    AUTOSYNCH_CHECK(CurrentMethod, "expression outside a method body");
+    if (End == Pos) {
+      error("expected an expression");
+      return nullptr;
+    }
+    size_t Begin = Offsets[Pos];
+    size_t Stop = Offsets[End];
+    std::string_view Slice = Source.substr(Begin, Stop - Begin);
+    int BaseLine = Tokens[Pos].Line;
+    int BaseCol = Tokens[Pos].Col;
+
+    PredicateParseResult R = parseExpression(Slice, *CurrentMethod->Arena,
+                                             *CurrentMethod->Syms);
+    if (!R.ok()) {
+      // Rebase the slice-relative location onto the file.
+      int Line = BaseLine + R.Error.Line - 1;
+      int Col = R.Error.Line == 1 ? BaseCol + R.Error.Col - 1 : R.Error.Col;
+      Errors.push_back(ParseError{Line, Col, R.Error.Message});
+      return nullptr;
+    }
+    Pos = End;
+    return R.Expr;
+  }
+
+  std::string_view Source;
+  std::vector<Token> Tokens;
+  std::vector<size_t> Offsets;
+  size_t Pos = 0;
+  MethodDecl *CurrentMethod = nullptr;
+  std::vector<ParseError> Errors;
+};
+
+} // namespace
+
+ParseUnitResult translate::parseMonitorFile(std::string_view Source) {
+  return MonitorParser(Source).run();
+}

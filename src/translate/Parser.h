@@ -1,0 +1,40 @@
+//===- translate/Parser.h - Monitor-language parser ------------*- C++ -*-===//
+//
+// Part of AutoSynch-C++, a reproduction of "AutoSynch: An Automatic-Signal
+// Monitor Based on Predicate Tagging" (Hung & Garg, PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parser and semantic analysis for the `.asynch` monitor language. Parsing
+/// resolves identifiers and checks types as it goes (the preprocessor's
+/// analysis half, paper Fig. 5: classify shared vs. local variables so
+/// globalization and registration can be generated).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AUTOSYNCH_TRANSLATE_PARSER_H
+#define AUTOSYNCH_TRANSLATE_PARSER_H
+
+#include "parse/PredicateParser.h"
+#include "translate/Ast.h"
+
+#include <string_view>
+
+namespace autosynch::translate {
+
+/// Outcome of parsing a `.asynch` source. On failure Unit is empty and
+/// Errors lists every diagnostic found before the parser gave up.
+struct ParseUnitResult {
+  TranslationUnit Unit;
+  std::vector<ParseError> Errors;
+
+  bool ok() const { return Errors.empty(); }
+};
+
+/// Parses and semantically checks \p Source.
+ParseUnitResult parseMonitorFile(std::string_view Source);
+
+} // namespace autosynch::translate
+
+#endif // AUTOSYNCH_TRANSLATE_PARSER_H

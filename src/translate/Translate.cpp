@@ -1,0 +1,26 @@
+//===- translate/Translate.cpp - One-call translation API -------------------===//
+//
+// Part of AutoSynch-C++, a reproduction of "AutoSynch: An Automatic-Signal
+// Monitor Based on Predicate Tagging" (Hung & Garg, PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "translate/Translate.h"
+
+#include "translate/CodeGen.h"
+
+using namespace autosynch;
+using namespace autosynch::translate;
+
+TranslateResult
+translate::translateMonitorSource(std::string_view Source,
+                                  std::string_view SourceName) {
+  TranslateResult Result;
+  ParseUnitResult Parsed = parseMonitorFile(Source);
+  if (!Parsed.ok()) {
+    Result.Errors = std::move(Parsed.Errors);
+    return Result;
+  }
+  Result.Cpp = generateCpp(Parsed.Unit, SourceName);
+  return Result;
+}

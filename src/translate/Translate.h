@@ -1,0 +1,38 @@
+//===- translate/Translate.h - One-call translation API --------*- C++ -*-===//
+//
+// Part of AutoSynch-C++, a reproduction of "AutoSynch: An Automatic-Signal
+// Monitor Based on Predicate Tagging" (Hung & Garg, PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The autosynchc entry point: `.asynch` monitor source in, generated C++
+/// header out — the paper's Fig. 2 preprocessor as a library call.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AUTOSYNCH_TRANSLATE_TRANSLATE_H
+#define AUTOSYNCH_TRANSLATE_TRANSLATE_H
+
+#include "translate/Parser.h"
+
+#include <string>
+
+namespace autosynch::translate {
+
+/// Result of translating one source file.
+struct TranslateResult {
+  std::string Cpp; ///< Generated header text (empty on failure).
+  std::vector<ParseError> Errors;
+
+  bool ok() const { return Errors.empty(); }
+};
+
+/// Translates `.asynch` \p Source; \p SourceName is used in diagnostics
+/// and the generated banner/guard.
+TranslateResult translateMonitorSource(std::string_view Source,
+                                       std::string_view SourceName);
+
+} // namespace autosynch::translate
+
+#endif // AUTOSYNCH_TRANSLATE_TRANSLATE_H

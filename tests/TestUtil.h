@@ -1,0 +1,125 @@
+//===- tests/TestUtil.h - Shared test helpers ------------------*- C++ -*-===//
+//
+// Part of AutoSynch-C++, a reproduction of "AutoSynch: An Automatic-Signal
+// Monitor Based on Predicate Tagging" (Hung & Garg, PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Helpers shared by the test suites: tiny fixture symbol tables, random
+/// expression generation for property tests, and random environments.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AUTOSYNCH_TESTS_TESTUTIL_H
+#define AUTOSYNCH_TESTS_TESTUTIL_H
+
+#include "expr/Builder.h"
+#include "expr/Env.h"
+#include "expr/ExprArena.h"
+#include "expr/SymbolTable.h"
+#include "support/Rng.h"
+
+#include <vector>
+
+namespace autosynch::testutil {
+
+/// A fixture with a few shared and local variables of both types:
+/// shared ints x, y, z; shared bool flag; local ints a, b; local bool p.
+struct Vars {
+  SymbolTable Syms;
+  VarId X, Y, Z, Flag, A, B, P;
+
+  Vars() {
+    X = Syms.declare("x", TypeKind::Int, VarScope::Shared);
+    Y = Syms.declare("y", TypeKind::Int, VarScope::Shared);
+    Z = Syms.declare("z", TypeKind::Int, VarScope::Shared);
+    Flag = Syms.declare("flag", TypeKind::Bool, VarScope::Shared);
+    A = Syms.declare("a", TypeKind::Int, VarScope::Local);
+    B = Syms.declare("b", TypeKind::Int, VarScope::Local);
+    P = Syms.declare("p", TypeKind::Bool, VarScope::Local);
+  }
+
+  std::vector<VarId> intVars() const { return {X, Y, Z, A, B}; }
+  std::vector<VarId> boolVars() const { return {Flag, P}; }
+};
+
+/// Generates a random well-typed expression of type \p Want. Values stay
+/// small enough (literals in [-8, 8], depth <= MaxDepth) that evaluation
+/// never approaches the int64 boundary, where canonicalization's
+/// no-overflow assumption would not hold.
+inline ExprRef randomExpr(Rng &R, ExprArena &Arena, const Vars &V,
+                          TypeKind Want, int MaxDepth) {
+  if (Want == TypeKind::Int) {
+    if (MaxDepth <= 0 || R.chance(1, 3)) {
+      if (R.chance(1, 2))
+        return Arena.intLit(R.range(-8, 8));
+      auto Ints = V.intVars();
+      return Arena.var(V.Syms.info(Ints[R.range(0, Ints.size() - 1)]));
+    }
+    switch (R.range(0, 5)) {
+    case 0:
+      return Arena.unary(ExprKind::Neg,
+                         randomExpr(R, Arena, V, TypeKind::Int, MaxDepth - 1));
+    case 1:
+    case 2:
+      return Arena.binary(
+          R.chance(1, 2) ? ExprKind::Add : ExprKind::Sub,
+          randomExpr(R, Arena, V, TypeKind::Int, MaxDepth - 1),
+          randomExpr(R, Arena, V, TypeKind::Int, MaxDepth - 1));
+    case 3:
+      return Arena.binary(
+          ExprKind::Mul, randomExpr(R, Arena, V, TypeKind::Int, MaxDepth - 1),
+          randomExpr(R, Arena, V, TypeKind::Int, MaxDepth - 1));
+    case 4:
+      // Division by a nonzero literal only: predicates must stay total.
+      return Arena.binary(
+          ExprKind::Div, randomExpr(R, Arena, V, TypeKind::Int, MaxDepth - 1),
+          Arena.intLit(R.chance(1, 2) ? R.range(1, 7) : R.range(-7, -1)));
+    default:
+      return Arena.binary(
+          ExprKind::Mod, randomExpr(R, Arena, V, TypeKind::Int, MaxDepth - 1),
+          Arena.intLit(R.range(1, 7)));
+    }
+  }
+
+  // Bool.
+  if (MaxDepth <= 0 || R.chance(1, 4)) {
+    if (R.chance(1, 3))
+      return Arena.boolLit(R.chance(1, 2));
+    auto Bools = V.boolVars();
+    return Arena.var(V.Syms.info(Bools[R.range(0, Bools.size() - 1)]));
+  }
+  switch (R.range(0, 4)) {
+  case 0:
+    return Arena.unary(ExprKind::Not,
+                       randomExpr(R, Arena, V, TypeKind::Bool, MaxDepth - 1));
+  case 1:
+  case 2: {
+    ExprKind K = static_cast<ExprKind>(
+        static_cast<int>(ExprKind::Eq) + R.range(0, 5));
+    return Arena.binary(K,
+                        randomExpr(R, Arena, V, TypeKind::Int, MaxDepth - 1),
+                        randomExpr(R, Arena, V, TypeKind::Int, MaxDepth - 1));
+  }
+  default:
+    return Arena.binary(
+        R.chance(1, 2) ? ExprKind::And : ExprKind::Or,
+        randomExpr(R, Arena, V, TypeKind::Bool, MaxDepth - 1),
+        randomExpr(R, Arena, V, TypeKind::Bool, MaxDepth - 1));
+  }
+}
+
+/// Binds every fixture variable to a random small value.
+inline MapEnv randomEnv(Rng &R, const Vars &V) {
+  MapEnv E;
+  for (VarId Id : V.intVars())
+    E.bindInt(Id, R.range(-10, 10));
+  for (VarId Id : V.boolVars())
+    E.bindBool(Id, R.chance(1, 2));
+  return E;
+}
+
+} // namespace autosynch::testutil
+
+#endif // AUTOSYNCH_TESTS_TESTUTIL_H

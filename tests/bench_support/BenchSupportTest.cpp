@@ -1,0 +1,139 @@
+//===- tests/bench_support/BenchSupportTest.cpp - Harness tests --------------===//
+//
+// Part of AutoSynch-C++, a reproduction of "AutoSynch: An Automatic-Signal
+// Monitor Based on Predicate Tagging" (Hung & Garg, PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench_support/BenchOptions.h"
+#include "bench_support/Drivers.h"
+#include "bench_support/Table.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+using namespace autosynch;
+using namespace autosynch::bench;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// BenchOptions
+//===----------------------------------------------------------------------===//
+
+struct EnvGuard {
+  ~EnvGuard() {
+    unsetenv("AUTOSYNCH_BENCH_THREADS");
+    unsetenv("AUTOSYNCH_BENCH_REPS");
+    unsetenv("AUTOSYNCH_BENCH_SCALE");
+  }
+};
+
+TEST(BenchOptionsTest, Defaults) {
+  EnvGuard G;
+  BenchOptions O = BenchOptions::fromEnv();
+  EXPECT_EQ(O.ThreadCounts, (std::vector<int>{2, 4, 8, 16, 32, 64}));
+  EXPECT_EQ(O.Reps, 3);
+  EXPECT_DOUBLE_EQ(O.OpsScale, 1.0);
+}
+
+TEST(BenchOptionsTest, ThreadListFromEnv) {
+  EnvGuard G;
+  setenv("AUTOSYNCH_BENCH_THREADS", "2,16,256", 1);
+  BenchOptions O = BenchOptions::fromEnv();
+  EXPECT_EQ(O.ThreadCounts, (std::vector<int>{2, 16, 256}));
+}
+
+TEST(BenchOptionsTest, MalformedThreadListFallsBack) {
+  EnvGuard G;
+  setenv("AUTOSYNCH_BENCH_THREADS", "zero,,-3", 1);
+  BenchOptions O = BenchOptions::fromEnv();
+  EXPECT_EQ(O.ThreadCounts, (std::vector<int>{2, 4, 8, 16, 32, 64}));
+}
+
+TEST(BenchOptionsTest, RepsAndScale) {
+  EnvGuard G;
+  setenv("AUTOSYNCH_BENCH_REPS", "7", 1);
+  setenv("AUTOSYNCH_BENCH_SCALE", "0.25", 1);
+  BenchOptions O = BenchOptions::fromEnv();
+  EXPECT_EQ(O.Reps, 7);
+  EXPECT_DOUBLE_EQ(O.OpsScale, 0.25);
+  EXPECT_EQ(O.scaled(1000), 250);
+  EXPECT_EQ(O.scaled(1), 1); // Never below one operation.
+}
+
+//===----------------------------------------------------------------------===//
+// Table
+//===----------------------------------------------------------------------===//
+
+TEST(TableTest, RowWidthMismatchIsFatal) {
+  Table T({"a", "b"});
+  EXPECT_DEATH(T.addRow({"only-one"}), "width mismatch");
+}
+
+TEST(TableTest, Formatters) {
+  EXPECT_EQ(Table::fmtSeconds(1.2345), "1.234");
+  EXPECT_EQ(Table::fmtSeconds(0.5), "0.500");
+  EXPECT_EQ(Table::fmtCount(42), "42");
+  EXPECT_EQ(Table::fmtRatio(26.94), "26.9x");
+}
+
+//===----------------------------------------------------------------------===//
+// Drivers (small smoke runs; conservation is asserted via problem state)
+//===----------------------------------------------------------------------===//
+
+TEST(DriversTest, BoundedBufferDriverDrains) {
+  auto B = makeBoundedBuffer(Mechanism::AutoSynch, 8);
+  RunMetrics M = runBoundedBuffer(*B, 2, 2, 500);
+  EXPECT_EQ(B->size(), 0);
+  EXPECT_GE(M.Seconds, 0.0);
+}
+
+TEST(DriversTest, ParamBufferDriverBalancesSupplyAndDemand) {
+  auto B = makeParamBoundedBuffer(Mechanism::AutoSynch, 256);
+  runParamBoundedBuffer(*B, 3, 5000, 128, /*Seed=*/7);
+  EXPECT_EQ(B->size(), 0);
+}
+
+TEST(DriversTest, H2ODriverKeepsStoichiometry) {
+  auto W = makeH2O(Mechanism::AutoSynch);
+  runH2O(*W, 4, 300);
+  EXPECT_EQ(W->molecules(), 300);
+}
+
+TEST(DriversTest, BarberDriverCompletesAllCuts) {
+  auto S = makeSleepingBarber(Mechanism::AutoSynch, 4);
+  runSleepingBarber(*S, 3, 300);
+  EXPECT_EQ(S->haircuts(), 300);
+}
+
+TEST(DriversTest, RoundRobinDriverCompletesWholeCycles) {
+  auto RR = makeRoundRobin(Mechanism::AutoSynch, 4);
+  runRoundRobin(*RR, 4, 400);
+  EXPECT_EQ(RR->accesses(), 400);
+}
+
+TEST(DriversTest, ReadersWritersDriverCountsOps) {
+  auto RW = makeReadersWriters(Mechanism::AutoSynch);
+  runReadersWriters(*RW, 2, 4, 600);
+  EXPECT_EQ(RW->reads() + RW->writes(), 600);
+}
+
+TEST(DriversTest, PhilosophersDriverCountsMeals) {
+  auto D = makeDiningPhilosophers(Mechanism::AutoSynch, 5);
+  runDiningPhilosophers(*D, 5, 500);
+  EXPECT_EQ(D->meals(), 500);
+}
+
+TEST(DriversTest, MetricsCaptureSyncEvents) {
+  auto B = makeBoundedBuffer(Mechanism::Baseline, 2);
+  RunMetrics M = runBoundedBuffer(*B, 2, 2, 400);
+  // A capacity-2 buffer with 4 threads must block sometimes, and the
+  // baseline must broadcast.
+  EXPECT_GT(M.Sync.Awaits, 0u);
+  EXPECT_GT(M.Sync.SignalAlls, 0u);
+  EXPECT_EQ(M.Sync.contextSwitchEvents(), M.Sync.Awaits + M.Sync.Wakeups);
+}
+
+} // namespace

@@ -1,0 +1,276 @@
+//===- tests/core/MonitorTest.cpp - Monitor API tests -----------------------===//
+//
+// Part of AutoSynch-C++, a reproduction of "AutoSynch: An Automatic-Signal
+// Monitor Based on Predicate Tagging" (Hung & Garg, PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Monitor.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+using namespace autosynch;
+
+namespace {
+
+/// A small counter monitor exercising both predicate front ends.
+class CounterMonitor : public Monitor {
+public:
+  explicit CounterMonitor(MonitorConfig Cfg = {}) : Monitor(Cfg) {}
+
+  void add(int64_t N) {
+    Region R(*this);
+    Count += N;
+  }
+
+  void awaitAtLeastEdsl(int64_t N) {
+    Region R(*this);
+    waitUntil(Count >= N);
+  }
+
+  void awaitAtLeastParsed(int64_t N) {
+    Region R(*this);
+    waitUntil("count >= n", locals().bindInt(local("n"), N));
+  }
+
+  int64_t get() {
+    Region R(*this);
+    return Count.get();
+  }
+
+  void nestedAdd(int64_t N) {
+    Region Outer(*this);
+    add(N); // Re-enters through a nested Region.
+  }
+
+  void waitFromNestedRegion() {
+    Region Outer(*this);
+    Region Inner(*this);
+    waitUntil(Count >= 0); // Must be fatal: depth 2.
+  }
+
+  bool inMonitorNow() {
+    Region R(*this);
+    return true;
+  }
+
+  void waitUnsatisfiable() {
+    Region R(*this);
+    waitUntil(Count < 0 && Count > 0);
+  }
+
+  using Monitor::conditionManager;
+
+private:
+  Shared<int64_t> Count{*this, "count", 0};
+};
+
+class MonitorPolicyTest : public ::testing::TestWithParam<SignalPolicy> {
+protected:
+  MonitorConfig config() {
+    MonitorConfig Cfg;
+    Cfg.Policy = GetParam();
+    return Cfg;
+  }
+};
+
+INSTANTIATE_TEST_SUITE_P(Policies, MonitorPolicyTest,
+                         ::testing::Values(SignalPolicy::Tagged,
+                                           SignalPolicy::LinearScan,
+                                           SignalPolicy::Broadcast),
+                         [](const auto &Info) {
+                           std::string Name = signalPolicyName(Info.param);
+                           Name.erase(std::remove(Name.begin(), Name.end(),
+                                                  '-'),
+                                      Name.end());
+                           return Name;
+                         });
+
+TEST_P(MonitorPolicyTest, FastPathWhenPredicateAlreadyTrue) {
+  CounterMonitor M(config());
+  M.add(10);
+  M.awaitAtLeastEdsl(5); // Returns immediately, no registration.
+  EXPECT_EQ(M.conditionManager().stats().Waits, 0u);
+  EXPECT_EQ(M.get(), 10);
+}
+
+TEST_P(MonitorPolicyTest, WaiterWokenBySingleProducer) {
+  CounterMonitor M(config());
+  std::thread Waiter([&] { M.awaitAtLeastEdsl(3); });
+  std::thread Producer([&] {
+    for (int I = 0; I != 3; ++I)
+      M.add(1);
+  });
+  Waiter.join();
+  Producer.join();
+  EXPECT_EQ(M.get(), 3);
+  EXPECT_GE(M.conditionManager().stats().Waits, 1u);
+}
+
+TEST_P(MonitorPolicyTest, ParsedAndEdslPredicatesBehaveAlike) {
+  CounterMonitor M(config());
+  std::thread W1([&] { M.awaitAtLeastEdsl(2); });
+  std::thread W2([&] { M.awaitAtLeastParsed(4); });
+  std::thread Producer([&] {
+    for (int I = 0; I != 4; ++I)
+      M.add(1);
+  });
+  W1.join();
+  W2.join();
+  Producer.join();
+  EXPECT_EQ(M.get(), 4);
+}
+
+TEST_P(MonitorPolicyTest, ManyWaitersAllReleased) {
+  CounterMonitor M(config());
+  constexpr int Waiters = 16;
+  std::vector<std::thread> Pool;
+  for (int I = 1; I <= Waiters; ++I)
+    Pool.emplace_back([&M, I] { M.awaitAtLeastEdsl(I); });
+  std::thread Producer([&] {
+    for (int I = 0; I != Waiters; ++I)
+      M.add(1);
+  });
+  for (auto &T : Pool)
+    T.join();
+  Producer.join();
+  EXPECT_EQ(M.get(), Waiters);
+  EXPECT_EQ(M.conditionManager().numWaiters(), 0);
+  EXPECT_EQ(M.conditionManager().pendingSignals(), 0);
+}
+
+TEST_P(MonitorPolicyTest, ReentrantRegions) {
+  CounterMonitor M(config());
+  M.nestedAdd(7);
+  EXPECT_EQ(M.get(), 7);
+}
+
+TEST(MonitorTest, WaitFromNestedRegionIsFatal) {
+  CounterMonitor M;
+  EXPECT_DEATH(M.waitFromNestedRegion(), "nested monitor region");
+}
+
+TEST(MonitorTest, UnsatisfiablePredicateIsFatal) {
+  CounterMonitor M;
+  EXPECT_DEATH(M.waitUnsatisfiable(), "unsatisfiable");
+}
+
+TEST(MonitorTest, ParseErrorsAreFatalWithLocation) {
+  class BadMonitor : public Monitor {
+  public:
+    void wait() {
+      Region R(*this);
+      waitUntil("count >=");
+    }
+
+  private:
+    Shared<int64_t> Count{*this, "count", 0};
+  };
+  BadMonitor M;
+  EXPECT_DEATH(M.wait(), "waituntil predicate");
+}
+
+TEST(MonitorTest, SharedVariableAccessOutsideMonitorIsFatal) {
+  class Leaky : public Monitor {
+  public:
+    Shared<int64_t> Count{*this, "count", 0};
+  };
+  Leaky M;
+  EXPECT_DEATH((void)M.Count.get(), "outside the monitor");
+  EXPECT_DEATH(M.Count.set(1), "outside the monitor");
+}
+
+TEST(MonitorTest, SharedBoolVariables) {
+  class Flagged : public Monitor {
+  public:
+    void setReady() {
+      Region R(*this);
+      Ready = true;
+    }
+    void awaitReady() {
+      Region R(*this);
+      waitUntil(Ready.expr());
+    }
+
+  private:
+    Shared<bool> Ready{*this, "ready", false};
+  };
+  Flagged M;
+  std::thread W([&] { M.awaitReady(); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  M.setReady();
+  W.join();
+}
+
+TEST(MonitorTest, EquivalentPredicatesShareOneRegistration) {
+  // "x >= 48", "48 <= x", and "2x >= 96" must hit one table entry.
+  class M1 : public Monitor {
+  public:
+    void bump() {
+      Region R(*this);
+      X += 100;
+    }
+    void waitA() {
+      Region R(*this);
+      waitUntil(X >= 48);
+    }
+    void waitB() {
+      Region R(*this);
+      waitUntil(48 <= X);
+    }
+    void waitC() {
+      Region R(*this);
+      waitUntil(X * 2 >= 96);
+    }
+    using Monitor::conditionManager;
+
+  private:
+    Shared<int64_t> X{*this, "x", 0};
+  };
+
+  M1 M;
+  std::thread A([&] { M.waitA(); });
+  std::thread B([&] { M.waitB(); });
+  std::thread C([&] { M.waitC(); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  M.bump();
+  A.join();
+  B.join();
+  C.join();
+  // At most one registration; the others reuse it (some may even have hit
+  // the fast path if they arrived after the bump).
+  EXPECT_LE(M.conditionManager().stats().Registrations, 1u);
+}
+
+TEST(MonitorTest, EagerRegistrationIsReused) {
+  class M2 : public Monitor {
+  public:
+    M2() { registerPredicate("x >= 5"); }
+    void bump() {
+      Region R(*this);
+      X += 5;
+    }
+    void wait() {
+      Region R(*this);
+      waitUntil(X >= 5);
+    }
+    using Monitor::conditionManager;
+
+  private:
+    Shared<int64_t> X{*this, "x", 0};
+  };
+  M2 M;
+  EXPECT_EQ(M.conditionManager().numRegistered(), 1u);
+  std::thread W([&] { M.wait(); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  M.bump();
+  W.join();
+  EXPECT_EQ(M.conditionManager().stats().Registrations, 1u);
+  EXPECT_GE(M.conditionManager().stats().CacheReuses, 1u);
+}
+
+} // namespace

@@ -1,0 +1,192 @@
+//===- tests/dnf/CanonicalAtomTest.cpp - Atom canonicalization tests --------===//
+//
+// Part of AutoSynch-C++, a reproduction of "AutoSynch: An Automatic-Signal
+// Monitor Based on Predicate Tagging" (Hung & Garg, PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+#include "dnf/CanonicalAtom.h"
+#include "expr/Printer.h"
+
+#include <gtest/gtest.h>
+
+using namespace autosynch;
+using testutil::Vars;
+
+namespace {
+
+class CanonicalAtomTest : public ::testing::Test {
+protected:
+  Vars V;
+  ExprArena A;
+
+  ExprRef x() { return A.var(V.Syms.info(V.X)); }
+  ExprRef y() { return A.var(V.Syms.info(V.Y)); }
+  ExprRef a() { return A.var(V.Syms.info(V.A)); }
+  ExprRef b() { return A.var(V.Syms.info(V.B)); }
+
+  /// Canonicalizes and re-renders as an expression for easy assertions.
+  std::string canonStr(ExprRef E) {
+    AtomCanonResult R = canonicalizeAtom(E);
+    switch (R.Kind) {
+    case AtomCanonKind::True:
+      return "true";
+    case AtomCanonKind::False:
+      return "false";
+    case AtomCanonKind::Opaque:
+      return "<opaque>";
+    case AtomCanonKind::Atom:
+      return printExpr(canonicalAtomToExpr(A, R.Atom), V.Syms);
+    }
+    return "<?>";
+  }
+};
+
+TEST_F(CanonicalAtomTest, AlreadyCanonicalPassesThrough) {
+  EXPECT_EQ(canonStr(A.binary(ExprKind::Ge, x(), A.intLit(3))), "x >= 3");
+  EXPECT_EQ(canonStr(A.binary(ExprKind::Eq, x(), A.intLit(8))), "x == 8");
+}
+
+TEST_F(CanonicalAtomTest, SwappedSidesNormalize) {
+  // 48 <= count and count >= 48 are the same atom.
+  EXPECT_EQ(canonStr(A.binary(ExprKind::Le, A.intLit(48), x())),
+            "x >= 48");
+  EXPECT_EQ(canonStr(A.binary(ExprKind::Gt, A.intLit(5), x())), "x <= 4");
+}
+
+TEST_F(CanonicalAtomTest, StrictOpsBecomeInclusive) {
+  // Integer-exact: x > 3 is x >= 4; x < 3 is x <= 2.
+  EXPECT_EQ(canonStr(A.binary(ExprKind::Gt, x(), A.intLit(3))), "x >= 4");
+  EXPECT_EQ(canonStr(A.binary(ExprKind::Lt, x(), A.intLit(3))), "x <= 2");
+}
+
+TEST_F(CanonicalAtomTest, ConstantsMoveRight) {
+  // x + 5 <= 8 is x <= 3.
+  ExprRef E = A.binary(ExprKind::Le,
+                       A.binary(ExprKind::Add, x(), A.intLit(5)),
+                       A.intLit(8));
+  EXPECT_EQ(canonStr(E), "x <= 3");
+}
+
+TEST_F(CanonicalAtomTest, PaperRearrangementExample) {
+  // §4.3: "(x - a = y + b) ... is equivalent to (x - y = a + b)". With
+  // globalized locals a=3, b=4 this becomes x - y == 7.
+  ExprRef E = A.binary(ExprKind::Eq,
+                       A.binary(ExprKind::Sub, x(), A.intLit(3)),
+                       A.binary(ExprKind::Add, y(), A.intLit(4)));
+  EXPECT_EQ(canonStr(E), "x + -1 * y == 7");
+}
+
+TEST_F(CanonicalAtomTest, PaperThresholdExample) {
+  // §4.3: x + b > 2y + a with a=11, b=2 becomes (x - 2y > 9), i.e.
+  // x - 2y >= 10 in inclusive form.
+  ExprRef E = A.binary(
+      ExprKind::Gt, A.binary(ExprKind::Add, x(), A.intLit(2)),
+      A.binary(ExprKind::Add, A.binary(ExprKind::Mul, A.intLit(2), y()),
+               A.intLit(11)));
+  EXPECT_EQ(canonStr(E), "x + -2 * y >= 10");
+}
+
+TEST_F(CanonicalAtomTest, LeadingCoefficientMadePositive) {
+  // -x >= -3 becomes x <= 3.
+  ExprRef E = A.binary(ExprKind::Ge, A.unary(ExprKind::Neg, x()),
+                       A.intLit(-3));
+  EXPECT_EQ(canonStr(E), "x <= 3");
+}
+
+TEST_F(CanonicalAtomTest, GcdReductionEquality) {
+  // 2x == 6 is x == 3; 2x == 7 is unsatisfiable.
+  ExprRef Even = A.binary(ExprKind::Eq,
+                          A.binary(ExprKind::Mul, A.intLit(2), x()),
+                          A.intLit(6));
+  EXPECT_EQ(canonStr(Even), "x == 3");
+  ExprRef Odd = A.binary(ExprKind::Eq,
+                         A.binary(ExprKind::Mul, A.intLit(2), x()),
+                         A.intLit(7));
+  EXPECT_EQ(canonStr(Odd), "false");
+}
+
+TEST_F(CanonicalAtomTest, GcdReductionDisequality) {
+  // 2x != 7 always holds over the integers.
+  ExprRef E = A.binary(ExprKind::Ne,
+                       A.binary(ExprKind::Mul, A.intLit(2), x()),
+                       A.intLit(7));
+  EXPECT_EQ(canonStr(E), "true");
+}
+
+TEST_F(CanonicalAtomTest, GcdReductionBoundsRoundExactly) {
+  // 2x <= 7  ≡  x <= 3;  2x >= 7  ≡  x >= 4 (integer rounding).
+  ExprRef Le7 = A.binary(ExprKind::Le,
+                         A.binary(ExprKind::Mul, A.intLit(2), x()),
+                         A.intLit(7));
+  EXPECT_EQ(canonStr(Le7), "x <= 3");
+  ExprRef Ge7 = A.binary(ExprKind::Ge,
+                         A.binary(ExprKind::Mul, A.intLit(2), x()),
+                         A.intLit(7));
+  EXPECT_EQ(canonStr(Ge7), "x >= 4");
+  // Negative bound: 2x <= -7  ≡  x <= -4.
+  ExprRef LeNeg = A.binary(ExprKind::Le,
+                           A.binary(ExprKind::Mul, A.intLit(2), x()),
+                           A.intLit(-7));
+  EXPECT_EQ(canonStr(LeNeg), "x <= -4");
+}
+
+TEST_F(CanonicalAtomTest, ScaledFormsCollapse) {
+  // 2*count >= 96 and count >= 48 share one canonical atom.
+  ExprRef Scaled = A.binary(ExprKind::Ge,
+                            A.binary(ExprKind::Mul, A.intLit(2), x()),
+                            A.intLit(96));
+  ExprRef Plain = A.binary(ExprKind::Ge, x(), A.intLit(48));
+  AtomCanonResult R1 = canonicalizeAtom(Scaled);
+  AtomCanonResult R2 = canonicalizeAtom(Plain);
+  ASSERT_EQ(R1.Kind, AtomCanonKind::Atom);
+  ASSERT_EQ(R2.Kind, AtomCanonKind::Atom);
+  EXPECT_EQ(canonicalAtomToExpr(A, R1.Atom),
+            canonicalAtomToExpr(A, R2.Atom));
+}
+
+TEST_F(CanonicalAtomTest, ConstantComparisonsFold) {
+  // x - x < 1 folds to true (0 < 1); x - x >= 1 to false.
+  ExprRef E = A.binary(ExprKind::Lt, A.binary(ExprKind::Sub, x(), x()),
+                       A.intLit(1));
+  EXPECT_EQ(canonStr(E), "true");
+  ExprRef F = A.binary(ExprKind::Ge, A.binary(ExprKind::Sub, x(), x()),
+                       A.intLit(1));
+  EXPECT_EQ(canonStr(F), "false");
+}
+
+TEST_F(CanonicalAtomTest, LocalVariablesCanonicalizeToo) {
+  // Scope is irrelevant here (tagging checks it later): a < b is the atom
+  // a - b <= -1.
+  EXPECT_EQ(canonStr(A.binary(ExprKind::Lt, a(), b())),
+            "a + -1 * b <= -1");
+}
+
+TEST_F(CanonicalAtomTest, NonLinearIsOpaque) {
+  ExprRef E = A.binary(ExprKind::Ge, A.binary(ExprKind::Mul, x(), y()),
+                       A.intLit(3));
+  EXPECT_EQ(canonStr(E), "<opaque>");
+  ExprRef D = A.binary(ExprKind::Ge, A.binary(ExprKind::Div, x(), A.intLit(2)),
+                       A.intLit(3));
+  EXPECT_EQ(canonStr(D), "<opaque>");
+}
+
+TEST_F(CanonicalAtomTest, BoolAtomsAreOpaque) {
+  ExprRef Flag = A.var(V.Syms.info(V.Flag));
+  EXPECT_EQ(canonStr(Flag), "<opaque>");
+  ExprRef P = A.var(V.Syms.info(V.P));
+  EXPECT_EQ(canonStr(A.binary(ExprKind::Eq, Flag, P)), "<opaque>");
+}
+
+TEST_F(CanonicalAtomTest, ExtremeBoundsFold) {
+  // Nothing is > INT64_MAX: folds to false. The INT64_MIN mirror stays
+  // opaque — canonicalization would have to negate INT64_MIN (overflow),
+  // so it conservatively leaves the atom alone.
+  ExprRef Gt = A.binary(ExprKind::Gt, x(), A.intLit(INT64_MAX));
+  EXPECT_EQ(canonStr(Gt), "false");
+  ExprRef Lt = A.binary(ExprKind::Lt, x(), A.intLit(INT64_MIN));
+  EXPECT_EQ(canonStr(Lt), "<opaque>");
+}
+
+} // namespace

@@ -1,0 +1,137 @@
+//===- tests/dnf/CanonicalPredicateTest.cpp - Predicate canonicalization ----===//
+//
+// Part of AutoSynch-C++, a reproduction of "AutoSynch: An Automatic-Signal
+// Monitor Based on Predicate Tagging" (Hung & Garg, PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+//
+// The predicate table's "syntax equivalence" (paper §5.2) rests on this:
+// equivalent waituntil predicates must canonicalize to one interned node.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+#include "dnf/Dnf.h"
+#include "expr/Printer.h"
+#include "parse/PredicateParser.h"
+
+#include <gtest/gtest.h>
+
+using namespace autosynch;
+using testutil::Vars;
+
+namespace {
+
+class CanonicalPredicateTest : public ::testing::Test {
+protected:
+  Vars V;
+  ExprArena A;
+
+  ExprRef parse(std::string_view Src) {
+    PredicateParseResult R = parsePredicate(Src, A, V.Syms);
+    EXPECT_TRUE(R.ok()) << Src << ": " << R.Error.toString();
+    return R.Expr;
+  }
+
+  ExprRef canon(std::string_view Src) {
+    return canonicalizePredicate(A, parse(Src)).Expr;
+  }
+};
+
+TEST_F(CanonicalPredicateTest, SwappedComparisonSidesShareNode) {
+  EXPECT_EQ(canon("x >= 48"), canon("48 <= x"));
+}
+
+TEST_F(CanonicalPredicateTest, ScaledAtomsShareNode) {
+  EXPECT_EQ(canon("2 * x >= 96"), canon("x >= 48"));
+}
+
+TEST_F(CanonicalPredicateTest, StrictAndInclusiveShareNode) {
+  EXPECT_EQ(canon("x > 47"), canon("x >= 48"));
+  EXPECT_EQ(canon("x < 4"), canon("x <= 3"));
+}
+
+TEST_F(CanonicalPredicateTest, CommutedConjunctionsShareNode) {
+  EXPECT_EQ(canon("x >= 1 && y >= 2"), canon("y >= 2 && x >= 1"));
+}
+
+TEST_F(CanonicalPredicateTest, CommutedDisjunctionsShareNode) {
+  EXPECT_EQ(canon("x >= 1 || y >= 2"), canon("y >= 2 || x >= 1"));
+}
+
+TEST_F(CanonicalPredicateTest, NegationNormalizesIn) {
+  EXPECT_EQ(canon("!(x < 48)"), canon("x >= 48"));
+}
+
+TEST_F(CanonicalPredicateTest, ArithmeticRearrangementsShareNode) {
+  EXPECT_EQ(canon("x + 5 <= y"), canon("x - y <= -5"));
+  EXPECT_EQ(canon("x - 3 == y + 4"), canon("x - y == 7"));
+}
+
+TEST_F(CanonicalPredicateTest, ContradictoryConjunctionDropped) {
+  // (x <= 2 && x >= 5) || y == 1 keeps only the satisfiable disjunct.
+  EXPECT_EQ(canon("x <= 2 && x >= 5 || y == 1"), canon("y == 1"));
+}
+
+TEST_F(CanonicalPredicateTest, EqNeContradictionDropped) {
+  EXPECT_EQ(canon("x == 3 && x != 3 || y == 1"), canon("y == 1"));
+}
+
+TEST_F(CanonicalPredicateTest, PinchedRangeContradictionDropped) {
+  // x >= 3 && x <= 3 && x != 3 is unsatisfiable.
+  EXPECT_EQ(canon("(x >= 3 && x <= 3 && x != 3) || y == 1"),
+            canon("y == 1"));
+}
+
+TEST_F(CanonicalPredicateTest, UnsatisfiableWholePredicateIsFalse) {
+  CanonicalPredicate CP =
+      canonicalizePredicate(A, parse("x < 3 && x > 5"));
+  EXPECT_TRUE(CP.D.isFalse());
+  EXPECT_EQ(CP.Expr, A.boolLit(false));
+}
+
+TEST_F(CanonicalPredicateTest, CrossDisjunctTautologyIsNotFolded) {
+  // (x >= 3 || x < 3) covers all of Z, but coverage reasoning across
+  // disjuncts is out of scope: the result is merely order-normalized.
+  // (waitUntil still never blocks on it — the fast-path evaluation is
+  // always true.)
+  CanonicalPredicate CP = canonicalizePredicate(A, parse("x >= 3 || x < 3"));
+  EXPECT_FALSE(CP.D.isTrue());
+  EXPECT_EQ(CP.Expr, canon("x <= 2 || x >= 3"));
+}
+
+TEST_F(CanonicalPredicateTest, TrueAtomVanishesFromConjunction) {
+  EXPECT_EQ(canon("x - x >= 0 && y == 1"), canon("y == 1"));
+}
+
+TEST_F(CanonicalPredicateTest, DuplicateConjunctionsMerge) {
+  EXPECT_EQ(canon("x >= 1 || 1 <= x"), canon("x >= 1"));
+}
+
+TEST_F(CanonicalPredicateTest, SubsumedConjunctionDropped) {
+  // (x >= 1) || (x >= 1 && y == 2): the second implies the first.
+  EXPECT_EQ(canon("x >= 1 || (x >= 1 && y == 2)"), canon("x >= 1"));
+}
+
+TEST_F(CanonicalPredicateTest, BooleanAtomsSurvive) {
+  EXPECT_EQ(canon("flag && x >= 1"), canon("x >= 1 && flag"));
+  // Tautology detection is per-conjunction only; across disjuncts the
+  // canonical form is merely order-normalized.
+  EXPECT_EQ(canon("!flag || flag"), canon("flag || !flag"));
+  // Within one conjunction, flag && !flag does vanish.
+  EXPECT_EQ(canon("(flag && !flag) || x >= 1"), canon("x >= 1"));
+}
+
+TEST_F(CanonicalPredicateTest, CanonicalDnfAtomsAreSorted) {
+  CanonicalPredicate CP =
+      canonicalizePredicate(A, parse("y >= 2 && x >= 1"));
+  ASSERT_EQ(CP.D.Conjs.size(), 1u);
+  ASSERT_EQ(CP.D.Conjs[0].Atoms.size(), 2u);
+  // Expression form is deterministic regardless of source order.
+  EXPECT_EQ(printExpr(CP.Expr, V.Syms),
+            printExpr(canonicalizePredicate(A, parse("x >= 1 && y >= 2"))
+                          .Expr,
+                      V.Syms));
+}
+
+} // namespace

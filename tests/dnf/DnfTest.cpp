@@ -1,0 +1,158 @@
+//===- tests/dnf/DnfTest.cpp - NNF/DNF conversion tests ---------------------===//
+//
+// Part of AutoSynch-C++, a reproduction of "AutoSynch: An Automatic-Signal
+// Monitor Based on Predicate Tagging" (Hung & Garg, PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+#include "dnf/Dnf.h"
+#include "expr/Printer.h"
+
+#include <gtest/gtest.h>
+
+using namespace autosynch;
+using testutil::Vars;
+
+namespace {
+
+class DnfTest : public ::testing::Test {
+protected:
+  Vars V;
+  ExprArena A;
+
+  ExprRef x() { return A.var(V.Syms.info(V.X)); }
+  ExprRef y() { return A.var(V.Syms.info(V.Y)); }
+  ExprRef z() { return A.var(V.Syms.info(V.Z)); }
+  ExprRef flag() { return A.var(V.Syms.info(V.Flag)); }
+
+  ExprRef cmp(ExprKind K, ExprRef L, int64_t R) {
+    return A.binary(K, L, A.intLit(R));
+  }
+};
+
+TEST_F(DnfTest, NnfFlipsNegatedComparison) {
+  // !(x < 3) becomes x >= 3.
+  ExprRef E = A.unary(ExprKind::Not, cmp(ExprKind::Lt, x(), 3));
+  EXPECT_EQ(toNnf(A, E), cmp(ExprKind::Ge, x(), 3));
+}
+
+TEST_F(DnfTest, NnfDeMorgan) {
+  // !(a && b) becomes !a || !b (comparisons flipped, not wrapped).
+  ExprRef E = A.unary(
+      ExprKind::Not, A.binary(ExprKind::And, cmp(ExprKind::Lt, x(), 3),
+                              cmp(ExprKind::Eq, y(), 0)));
+  EXPECT_EQ(toNnf(A, E),
+            A.binary(ExprKind::Or, cmp(ExprKind::Ge, x(), 3),
+                     cmp(ExprKind::Ne, y(), 0)));
+}
+
+TEST_F(DnfTest, NnfDoubleNegation) {
+  ExprRef E = A.unary(ExprKind::Not, A.unary(ExprKind::Not, flag()));
+  EXPECT_EQ(toNnf(A, E), flag());
+}
+
+TEST_F(DnfTest, NnfKeepsNotOnBoolVars) {
+  ExprRef E = A.unary(ExprKind::Not, flag());
+  EXPECT_EQ(toNnf(A, E), E);
+}
+
+TEST_F(DnfTest, PaperExampleIsAlreadyDnf) {
+  // (x = 1 && y = 6) || (z != 8) — the paper's §4.1 example.
+  ExprRef E = A.binary(
+      ExprKind::Or,
+      A.binary(ExprKind::And, cmp(ExprKind::Eq, x(), 1),
+               cmp(ExprKind::Eq, y(), 6)),
+      cmp(ExprKind::Ne, z(), 8));
+  Dnf D = toDnf(A, E);
+  ASSERT_TRUE(D.Exact);
+  ASSERT_EQ(D.Conjs.size(), 2u);
+  EXPECT_EQ(D.Conjs[0].Atoms.size(), 2u);
+  EXPECT_EQ(D.Conjs[1].Atoms.size(), 1u);
+}
+
+TEST_F(DnfTest, DistributesAndOverOr) {
+  // a && (b || c) has two conjunctions {a,b}, {a,c}.
+  ExprRef E = A.binary(
+      ExprKind::And, cmp(ExprKind::Gt, x(), 0),
+      A.binary(ExprKind::Or, cmp(ExprKind::Gt, y(), 0),
+               cmp(ExprKind::Gt, z(), 0)));
+  Dnf D = toDnf(A, E);
+  ASSERT_EQ(D.Conjs.size(), 2u);
+  EXPECT_EQ(D.Conjs[0].Atoms.size(), 2u);
+  EXPECT_EQ(D.Conjs[1].Atoms.size(), 2u);
+}
+
+TEST_F(DnfTest, CrossProductOfDisjunctions) {
+  // (a || b) && (c || d) has four conjunctions.
+  ExprRef E = A.binary(
+      ExprKind::And,
+      A.binary(ExprKind::Or, cmp(ExprKind::Gt, x(), 0),
+               cmp(ExprKind::Gt, x(), 1)),
+      A.binary(ExprKind::Or, cmp(ExprKind::Gt, y(), 0),
+               cmp(ExprKind::Gt, y(), 1)));
+  Dnf D = toDnf(A, E);
+  EXPECT_EQ(D.Conjs.size(), 4u);
+}
+
+TEST_F(DnfTest, DuplicateAtomsWithinConjunctionDrop) {
+  ExprRef C = cmp(ExprKind::Gt, x(), 0);
+  ExprRef E = A.binary(ExprKind::And, C,
+                       A.binary(ExprKind::And, C, C));
+  Dnf D = toDnf(A, E);
+  ASSERT_EQ(D.Conjs.size(), 1u);
+  EXPECT_EQ(D.Conjs[0].Atoms.size(), 1u);
+}
+
+TEST_F(DnfTest, PointerLevelContradictionDropsConjunction) {
+  // flag && !flag contributes nothing.
+  ExprRef E = A.binary(ExprKind::And, flag(),
+                       A.unary(ExprKind::Not, flag()));
+  Dnf D = toDnf(A, E);
+  EXPECT_TRUE(D.isFalse());
+}
+
+TEST_F(DnfTest, TrueAndFalseLiterals) {
+  EXPECT_TRUE(toDnf(A, A.boolLit(true)).isTrue());
+  EXPECT_TRUE(toDnf(A, A.boolLit(false)).isFalse());
+}
+
+TEST_F(DnfTest, BlowupFallsBackToOpaqueAtom) {
+  // Chain of (ai || bi) conjuncts: 2^n conjunctions; cap at 4.
+  ExprRef E = nullptr;
+  for (int I = 0; I != 6; ++I) {
+    ExprRef Clause = A.binary(ExprKind::Or, cmp(ExprKind::Gt, x(), I),
+                              cmp(ExprKind::Gt, y(), I));
+    E = E ? A.binary(ExprKind::And, E, Clause) : Clause;
+  }
+  DnfLimits Limits;
+  Limits.MaxConjunctions = 4;
+  Dnf D = toDnf(A, E, Limits);
+  EXPECT_FALSE(D.Exact);
+  ASSERT_EQ(D.Conjs.size(), 1u);
+  ASSERT_EQ(D.Conjs[0].Atoms.size(), 1u);
+  EXPECT_EQ(D.Conjs[0].Atoms[0], toNnf(A, E)); // Whole predicate kept.
+}
+
+TEST_F(DnfTest, DnfToExprRoundTripStructure) {
+  ExprRef E = A.binary(
+      ExprKind::Or,
+      A.binary(ExprKind::And, cmp(ExprKind::Eq, x(), 1),
+               cmp(ExprKind::Eq, y(), 6)),
+      cmp(ExprKind::Ne, z(), 8));
+  Dnf D = toDnf(A, E);
+  EXPECT_EQ(dnfToExpr(A, D), E); // Already in DNF: identical tree.
+}
+
+TEST_F(DnfTest, EmptyDnfIsFalseExpr) {
+  Dnf D;
+  EXPECT_EQ(dnfToExpr(A, D), A.boolLit(false));
+}
+
+TEST_F(DnfTest, TrueDnfIsTrueExpr) {
+  Dnf D;
+  D.Conjs.push_back(Conjunction{});
+  EXPECT_EQ(dnfToExpr(A, D), A.boolLit(true));
+}
+
+} // namespace

@@ -1,0 +1,117 @@
+//===- tests/dnf/LinearFormTest.cpp - Linear form extraction tests ----------===//
+//
+// Part of AutoSynch-C++, a reproduction of "AutoSynch: An Automatic-Signal
+// Monitor Based on Predicate Tagging" (Hung & Garg, PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+#include "dnf/LinearForm.h"
+
+#include <gtest/gtest.h>
+
+using namespace autosynch;
+using testutil::Vars;
+
+namespace {
+
+class LinearFormTest : public ::testing::Test {
+protected:
+  Vars V;
+  ExprArena A;
+
+  ExprRef x() { return A.var(V.Syms.info(V.X)); }
+  ExprRef y() { return A.var(V.Syms.info(V.Y)); }
+};
+
+TEST_F(LinearFormTest, Constant) {
+  auto F = LinearForm::of(A.intLit(7));
+  ASSERT_TRUE(F.has_value());
+  EXPECT_TRUE(F->isConstant());
+  EXPECT_EQ(F->constant(), 7);
+}
+
+TEST_F(LinearFormTest, SingleVariable) {
+  auto F = LinearForm::of(x());
+  ASSERT_TRUE(F.has_value());
+  ASSERT_EQ(F->terms().size(), 1u);
+  EXPECT_EQ(F->terms()[0], (LinearForm::Term{V.X, 1}));
+  EXPECT_EQ(F->constant(), 0);
+}
+
+TEST_F(LinearFormTest, SumAndScale) {
+  // 2*x + y - 3.
+  ExprRef E = A.binary(
+      ExprKind::Sub,
+      A.binary(ExprKind::Add, A.binary(ExprKind::Mul, A.intLit(2), x()),
+               y()),
+      A.intLit(3));
+  auto F = LinearForm::of(E);
+  ASSERT_TRUE(F.has_value());
+  ASSERT_EQ(F->terms().size(), 2u);
+  EXPECT_EQ(F->terms()[0], (LinearForm::Term{V.X, 2}));
+  EXPECT_EQ(F->terms()[1], (LinearForm::Term{V.Y, 1}));
+  EXPECT_EQ(F->constant(), -3);
+}
+
+TEST_F(LinearFormTest, VariableTimesConstantEitherOrder) {
+  ExprRef L = A.binary(ExprKind::Mul, A.intLit(3), x());
+  ExprRef R = A.binary(ExprKind::Mul, x(), A.intLit(3));
+  EXPECT_EQ(LinearForm::of(L), LinearForm::of(R));
+}
+
+TEST_F(LinearFormTest, CancellationDropsTerm) {
+  // x - x has no terms.
+  ExprRef E = A.binary(ExprKind::Sub, x(), x());
+  auto F = LinearForm::of(E);
+  ASSERT_TRUE(F.has_value());
+  EXPECT_TRUE(F->isConstant());
+  EXPECT_EQ(F->constant(), 0);
+}
+
+TEST_F(LinearFormTest, NegationNegatesEverything) {
+  // -(2x + 3).
+  ExprRef E = A.unary(
+      ExprKind::Neg,
+      A.binary(ExprKind::Add, A.binary(ExprKind::Mul, A.intLit(2), x()),
+               A.intLit(3)));
+  auto F = LinearForm::of(E);
+  ASSERT_TRUE(F.has_value());
+  EXPECT_EQ(F->terms()[0], (LinearForm::Term{V.X, -2}));
+  EXPECT_EQ(F->constant(), -3);
+}
+
+TEST_F(LinearFormTest, VariableProductIsNonLinear) {
+  EXPECT_FALSE(LinearForm::of(A.binary(ExprKind::Mul, x(), y())));
+}
+
+TEST_F(LinearFormTest, DivisionIsNonLinear) {
+  EXPECT_FALSE(LinearForm::of(A.binary(ExprKind::Div, x(), A.intLit(2))));
+  EXPECT_FALSE(LinearForm::of(A.binary(ExprKind::Mod, x(), A.intLit(2))));
+}
+
+TEST_F(LinearFormTest, CoefficientOverflowIsRejected) {
+  // INT64_MAX * x + INT64_MAX * x overflows the coefficient.
+  ExprRef Big = A.binary(ExprKind::Mul, A.intLit(INT64_MAX), x());
+  ExprRef E = A.binary(ExprKind::Add, Big, Big);
+  EXPECT_FALSE(LinearForm::of(E));
+}
+
+TEST_F(LinearFormTest, TermsSortedByVarId) {
+  // y + x normalizes to x-then-y (VarId order).
+  ExprRef E = A.binary(ExprKind::Add, y(), x());
+  auto F = LinearForm::of(E);
+  ASSERT_TRUE(F.has_value());
+  ASSERT_EQ(F->terms().size(), 2u);
+  EXPECT_LT(F->terms()[0].first, F->terms()[1].first);
+}
+
+TEST_F(LinearFormTest, ScaleByZeroIsZero) {
+  LinearForm F = LinearForm::variableForm(V.X);
+  auto Z = F.scale(0);
+  ASSERT_TRUE(Z.has_value());
+  EXPECT_TRUE(Z->isConstant());
+  EXPECT_EQ(Z->constant(), 0);
+}
+
+} // namespace

@@ -1,0 +1,91 @@
+//===- tests/expr/BuilderTest.cpp - EDSL builder tests ----------------------===//
+//
+// Part of AutoSynch-C++, a reproduction of "AutoSynch: An Automatic-Signal
+// Monitor Based on Predicate Tagging" (Hung & Garg, PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+#include "expr/Builder.h"
+#include "expr/Eval.h"
+
+#include <gtest/gtest.h>
+
+using namespace autosynch;
+using testutil::Vars;
+
+namespace {
+
+class BuilderTest : public ::testing::Test {
+protected:
+  Vars V;
+  ExprArena A;
+
+  ExprHandle x() { return ExprHandle(A, A.var(V.Syms.info(V.X))); }
+  ExprHandle y() { return ExprHandle(A, A.var(V.Syms.info(V.Y))); }
+  ExprHandle flag() { return ExprHandle(A, A.var(V.Syms.info(V.Flag))); }
+};
+
+TEST_F(BuilderTest, ArithmeticOperators) {
+  ExprHandle E = x() + y() * 2 - 1;
+  MapEnv Env;
+  Env.bindInt(V.X, 10).bindInt(V.Y, 3);
+  EXPECT_EQ(evalInt(E.ref(), Env), 15);
+}
+
+TEST_F(BuilderTest, IntOnEitherSide) {
+  EXPECT_EQ((x() + 5).ref()->kind(), ExprKind::Add);
+  EXPECT_EQ((5 + x()).ref()->kind(), ExprKind::Add);
+  // No commutative normalization at build time: distinct trees (the DNF
+  // canonicalizer merges them later).
+  EXPECT_NE((x() + 5).ref(), (5 + x()).ref());
+}
+
+TEST_F(BuilderTest, ComparisonsProduceBool) {
+  EXPECT_EQ((x() < 3).type(), TypeKind::Bool);
+  EXPECT_EQ((x() <= 3).ref()->kind(), ExprKind::Le);
+  EXPECT_EQ((x() > 3).ref()->kind(), ExprKind::Gt);
+  EXPECT_EQ((x() >= 3).ref()->kind(), ExprKind::Ge);
+  EXPECT_EQ((x() == 3).ref()->kind(), ExprKind::Eq);
+  EXPECT_EQ((x() != 3).ref()->kind(), ExprKind::Ne);
+}
+
+TEST_F(BuilderTest, LogicalOperators) {
+  ExprHandle E = (x() > 0 && y() < 5) || !flag();
+  MapEnv Env;
+  Env.bindInt(V.X, 1).bindInt(V.Y, 10).bindBool(V.Flag, false);
+  EXPECT_TRUE(evalBool(E.ref(), Env));
+}
+
+TEST_F(BuilderTest, UnaryMinus) {
+  ExprHandle E = -x() + 1;
+  MapEnv Env;
+  Env.bindInt(V.X, 4);
+  EXPECT_EQ(evalInt(E.ref(), Env), -3);
+}
+
+TEST_F(BuilderTest, SameExpressionInterns) {
+  EXPECT_EQ((x() + 1 <= 64).ref(), (x() + 1 <= 64).ref());
+}
+
+TEST_F(BuilderTest, LiteralFoldingThroughOperators) {
+  ExprHandle E = lit(A, 2) + 3;
+  EXPECT_EQ(E.ref(), A.intLit(5));
+  ExprHandle B = blit(A, true) && blit(A, false);
+  EXPECT_EQ(B.ref(), A.boolLit(false));
+}
+
+TEST_F(BuilderTest, MixingArenasIsFatal) {
+  ExprArena Other;
+  ExprHandle Foreign = lit(Other, 1);
+  EXPECT_DEATH((void)(x() + Foreign), "different arenas");
+}
+
+TEST_F(BuilderTest, ModuloAndDivision) {
+  ExprHandle E = x() % 4 == 0 && x() / 2 > 1;
+  MapEnv Env;
+  Env.bindInt(V.X, 8);
+  EXPECT_TRUE(evalBool(E.ref(), Env));
+}
+
+} // namespace

@@ -1,0 +1,103 @@
+//===- tests/expr/BytecodeTest.cpp - Compiled evaluator tests ---------------===//
+//
+// Part of AutoSynch-C++, a reproduction of "AutoSynch: An Automatic-Signal
+// Monitor Based on Predicate Tagging" (Hung & Garg, PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+#include "expr/Bytecode.h"
+#include "expr/Eval.h"
+
+#include <gtest/gtest.h>
+
+using namespace autosynch;
+using testutil::Vars;
+
+namespace {
+
+class BytecodeTest : public ::testing::Test {
+protected:
+  Vars V;
+  ExprArena A;
+  MapEnv Env;
+
+  void SetUp() override {
+    Env.bindInt(V.X, 6).bindInt(V.Y, -2).bindInt(V.Z, 0);
+    Env.bindBool(V.Flag, true);
+  }
+
+  ExprRef x() { return A.var(V.Syms.info(V.X)); }
+  ExprRef y() { return A.var(V.Syms.info(V.Y)); }
+  ExprRef z() { return A.var(V.Syms.info(V.Z)); }
+};
+
+TEST_F(BytecodeTest, EmptyProgramIsInvalid) {
+  CompiledPredicate P;
+  EXPECT_FALSE(P.valid());
+  EXPECT_DEATH(P.run(Env), "empty CompiledPredicate");
+}
+
+TEST_F(BytecodeTest, CompilesLiteral) {
+  CompiledPredicate P = CompiledPredicate::compile(A.boolLit(true));
+  EXPECT_TRUE(P.valid());
+  EXPECT_TRUE(P.runBool(Env));
+}
+
+TEST_F(BytecodeTest, ArithmeticMatchesTreeWalk) {
+  ExprRef E = A.binary(
+      ExprKind::Add, A.binary(ExprKind::Mul, x(), A.intLit(3)),
+      A.unary(ExprKind::Neg, y()));
+  CompiledPredicate P = CompiledPredicate::compile(E);
+  EXPECT_EQ(P.run(Env), eval(E, Env));
+}
+
+TEST_F(BytecodeTest, ComparisonResult) {
+  ExprRef E = A.binary(ExprKind::Ge, x(), A.intLit(6));
+  CompiledPredicate P = CompiledPredicate::compile(E);
+  EXPECT_TRUE(P.runBool(Env));
+}
+
+TEST_F(BytecodeTest, ShortCircuitAndSkipsFaultingRhs) {
+  // (x < 0) && (x / z == 0): the guard is false at runtime (but not
+  // foldable), so the compiled form must skip the division.
+  ExprRef Faulting =
+      A.binary(ExprKind::Eq, A.binary(ExprKind::Div, x(), z()), A.intLit(0));
+  ExprRef Guard = A.binary(ExprKind::Lt, x(), A.intLit(0));
+  CompiledPredicate P =
+      CompiledPredicate::compile(A.binary(ExprKind::And, Guard, Faulting));
+  EXPECT_FALSE(P.runBool(Env));
+}
+
+TEST_F(BytecodeTest, ShortCircuitOrSkipsFaultingRhs) {
+  ExprRef Faulting =
+      A.binary(ExprKind::Eq, A.binary(ExprKind::Div, x(), z()), A.intLit(0));
+  ExprRef Guard = A.binary(ExprKind::Gt, x(), A.intLit(0)); // true here.
+  ExprRef E = A.binary(ExprKind::Or, Guard, Faulting);
+  CompiledPredicate P = CompiledPredicate::compile(E);
+  EXPECT_TRUE(P.runBool(Env));
+}
+
+TEST_F(BytecodeTest, DivisionByZeroFaults) {
+  ExprRef E = A.binary(ExprKind::Eq, A.binary(ExprKind::Div, x(), z()),
+                       A.intLit(0));
+  CompiledPredicate P = CompiledPredicate::compile(E);
+  EXPECT_DEATH(P.run(Env), "division by zero");
+}
+
+TEST_F(BytecodeTest, RunBoolOnIntProgramIsFatal) {
+  CompiledPredicate P = CompiledPredicate::compile(x());
+  EXPECT_DEATH(P.runBool(Env), "asBool on an int");
+}
+
+TEST_F(BytecodeTest, StackDepthIsTracked) {
+  // ((x + y) + (x + y)) needs depth >= 2... build something deeper.
+  ExprRef E = x();
+  for (int I = 0; I != 10; ++I)
+    E = A.binary(ExprKind::Add, E, A.binary(ExprKind::Mul, x(), y()));
+  CompiledPredicate P = CompiledPredicate::compile(E);
+  EXPECT_GE(P.maxStackDepth(), 2u);
+  EXPECT_EQ(P.run(Env), eval(E, Env));
+}
+
+} // namespace

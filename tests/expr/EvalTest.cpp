@@ -1,0 +1,110 @@
+//===- tests/expr/EvalTest.cpp - Tree-walk evaluator tests ------------------===//
+//
+// Part of AutoSynch-C++, a reproduction of "AutoSynch: An Automatic-Signal
+// Monitor Based on Predicate Tagging" (Hung & Garg, PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+#include "expr/Eval.h"
+
+#include <gtest/gtest.h>
+
+using namespace autosynch;
+using testutil::Vars;
+
+namespace {
+
+class EvalTest : public ::testing::Test {
+protected:
+  Vars V;
+  ExprArena A;
+  MapEnv Env;
+
+  void SetUp() override {
+    Env.bindInt(V.X, 10).bindInt(V.Y, -3).bindInt(V.Z, 0);
+    Env.bindBool(V.Flag, true);
+    Env.bindInt(V.A, 4).bindInt(V.B, 7).bindBool(V.P, false);
+  }
+
+  ExprRef x() { return A.var(V.Syms.info(V.X)); }
+  ExprRef y() { return A.var(V.Syms.info(V.Y)); }
+  ExprRef z() { return A.var(V.Syms.info(V.Z)); }
+  ExprRef flag() { return A.var(V.Syms.info(V.Flag)); }
+};
+
+TEST_F(EvalTest, Leaves) {
+  EXPECT_EQ(eval(A.intLit(42), Env), Value::makeInt(42));
+  EXPECT_EQ(eval(A.boolLit(false), Env), Value::makeBool(false));
+  EXPECT_EQ(eval(x(), Env), Value::makeInt(10));
+  EXPECT_EQ(eval(flag(), Env), Value::makeBool(true));
+}
+
+TEST_F(EvalTest, Arithmetic) {
+  EXPECT_EQ(evalInt(A.binary(ExprKind::Add, x(), y()), Env), 7);
+  EXPECT_EQ(evalInt(A.binary(ExprKind::Sub, x(), y()), Env), 13);
+  EXPECT_EQ(evalInt(A.binary(ExprKind::Mul, x(), y()), Env), -30);
+  EXPECT_EQ(evalInt(A.binary(ExprKind::Div, x(), y()), Env), -3);
+  EXPECT_EQ(evalInt(A.binary(ExprKind::Mod, x(), A.intLit(3)), Env), 1);
+  EXPECT_EQ(evalInt(A.unary(ExprKind::Neg, y()), Env), 3);
+}
+
+TEST_F(EvalTest, Comparisons) {
+  EXPECT_TRUE(evalBool(A.binary(ExprKind::Gt, x(), y()), Env));
+  EXPECT_FALSE(evalBool(A.binary(ExprKind::Lt, x(), y()), Env));
+  EXPECT_TRUE(evalBool(A.binary(ExprKind::Ge, x(), A.intLit(10)), Env));
+  EXPECT_TRUE(evalBool(A.binary(ExprKind::Le, y(), A.intLit(-3)), Env));
+  EXPECT_TRUE(evalBool(A.binary(ExprKind::Eq, z(), A.intLit(0)), Env));
+  EXPECT_TRUE(evalBool(A.binary(ExprKind::Ne, x(), z()), Env));
+}
+
+TEST_F(EvalTest, BoolEqualityComparison) {
+  ExprRef P = A.var(V.Syms.info(V.P));
+  EXPECT_FALSE(evalBool(A.binary(ExprKind::Eq, flag(), P), Env));
+  EXPECT_TRUE(evalBool(A.binary(ExprKind::Ne, flag(), P), Env));
+}
+
+TEST_F(EvalTest, ShortCircuitAndSkipsFaultingRhs) {
+  // (false && x/z == 0): the division by zero on the right must never run.
+  ExprRef Faulting =
+      A.binary(ExprKind::Eq, A.binary(ExprKind::Div, x(), z()), A.intLit(0));
+  ExprRef E = A.binary(ExprKind::And,
+                       A.binary(ExprKind::Lt, x(), A.intLit(0)), Faulting);
+  EXPECT_FALSE(evalBool(E, Env));
+}
+
+TEST_F(EvalTest, ShortCircuitOrSkipsFaultingRhs) {
+  ExprRef Faulting =
+      A.binary(ExprKind::Eq, A.binary(ExprKind::Div, x(), z()), A.intLit(0));
+  ExprRef E = A.binary(ExprKind::Or,
+                       A.binary(ExprKind::Gt, x(), A.intLit(0)), Faulting);
+  EXPECT_TRUE(evalBool(E, Env));
+}
+
+TEST_F(EvalTest, DivisionByZeroIsFatal) {
+  ExprRef E = A.binary(ExprKind::Div, x(), z());
+  EXPECT_DEATH(eval(E, Env), "division by zero");
+  ExprRef M = A.binary(ExprKind::Mod, x(), z());
+  EXPECT_DEATH(eval(M, Env), "modulo by zero");
+}
+
+TEST_F(EvalTest, WrappingOverflow) {
+  MapEnv Big;
+  Big.bindInt(V.X, INT64_MAX);
+  ExprRef E = A.binary(ExprKind::Add, A.var(V.Syms.info(V.X)), A.intLit(1));
+  EXPECT_EQ(evalInt(E, Big), INT64_MIN);
+}
+
+TEST_F(EvalTest, UnboundVariableIsFatal) {
+  MapEnv Empty;
+  EXPECT_DEATH(eval(x(), Empty), "unbound variable");
+}
+
+TEST_F(EvalTest, EvalCountAdvances) {
+  resetPredicateEvalCount();
+  eval(x(), Env);
+  eval(x(), Env);
+  EXPECT_EQ(predicateEvalCount(), 2u);
+}
+
+} // namespace

@@ -1,0 +1,81 @@
+//===- tests/expr/PrinterTest.cpp - Printer tests ---------------------------===//
+//
+// Part of AutoSynch-C++, a reproduction of "AutoSynch: An Automatic-Signal
+// Monitor Based on Predicate Tagging" (Hung & Garg, PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+#include "expr/Printer.h"
+
+#include <gtest/gtest.h>
+
+using namespace autosynch;
+using testutil::Vars;
+
+namespace {
+
+class PrinterTest : public ::testing::Test {
+protected:
+  Vars V;
+  ExprArena A;
+
+  ExprRef x() { return A.var(V.Syms.info(V.X)); }
+  ExprRef y() { return A.var(V.Syms.info(V.Y)); }
+  ExprRef flag() { return A.var(V.Syms.info(V.Flag)); }
+
+  std::string print(ExprRef E) { return printExpr(E, V.Syms); }
+};
+
+TEST_F(PrinterTest, Leaves) {
+  EXPECT_EQ(print(A.intLit(42)), "42");
+  EXPECT_EQ(print(A.intLit(-7)), "-7");
+  EXPECT_EQ(print(A.boolLit(true)), "true");
+  EXPECT_EQ(print(x()), "x");
+}
+
+TEST_F(PrinterTest, FlatArithmeticNeedsNoParens) {
+  ExprRef E = A.binary(ExprKind::Add,
+                       A.binary(ExprKind::Mul, x(), A.intLit(2)), y());
+  EXPECT_EQ(print(E), "x * 2 + y");
+}
+
+TEST_F(PrinterTest, PrecedenceForcesParens) {
+  ExprRef E = A.binary(ExprKind::Mul,
+                       A.binary(ExprKind::Add, x(), A.intLit(1)), y());
+  EXPECT_EQ(print(E), "(x + 1) * y");
+}
+
+TEST_F(PrinterTest, RightAssociativeChildParenthesized) {
+  // x - (y - 1) must keep its parentheses; (x - y) - 1 must not.
+  ExprRef Inner = A.binary(ExprKind::Sub, y(), A.intLit(1));
+  EXPECT_EQ(print(A.binary(ExprKind::Sub, x(), Inner)), "x - (y - 1)");
+  ExprRef Left = A.binary(ExprKind::Sub, A.binary(ExprKind::Sub, x(), y()),
+                          A.intLit(1));
+  EXPECT_EQ(print(Left), "x - y - 1");
+}
+
+TEST_F(PrinterTest, LogicalPrecedence) {
+  ExprRef Cmp1 = A.binary(ExprKind::Gt, x(), A.intLit(0));
+  ExprRef Cmp2 = A.binary(ExprKind::Lt, y(), A.intLit(5));
+  ExprRef E = A.binary(ExprKind::Or, A.binary(ExprKind::And, Cmp1, Cmp2),
+                       flag());
+  EXPECT_EQ(print(E), "x > 0 && y < 5 || flag");
+  ExprRef F = A.binary(ExprKind::And, A.binary(ExprKind::Or, Cmp1, Cmp2),
+                       flag());
+  EXPECT_EQ(print(F), "(x > 0 || y < 5) && flag");
+}
+
+TEST_F(PrinterTest, NotAndNeg) {
+  EXPECT_EQ(print(A.unary(ExprKind::Not, flag())), "!flag");
+  EXPECT_EQ(print(A.unary(ExprKind::Neg, x())), "-x");
+  ExprRef E = A.unary(ExprKind::Not,
+                      A.binary(ExprKind::And, flag(), flag()));
+  EXPECT_EQ(print(E), "!(flag && flag)");
+}
+
+TEST_F(PrinterTest, SyntheticNamesWithoutSymbolTable) {
+  EXPECT_EQ(printExpr(x()), "v0");
+}
+
+} // namespace

@@ -1,0 +1,170 @@
+//===- tests/expr/PropertyTest.cpp - Cross-evaluator properties -------------===//
+//
+// Part of AutoSynch-C++, a reproduction of "AutoSynch: An Automatic-Signal
+// Monitor Based on Predicate Tagging" (Hung & Garg, PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+//
+// Randomized equivalence properties across the expression pipeline. These
+// are the load-bearing correctness tests: if any transformation (NNF, DNF,
+// canonicalization, bytecode) changed a predicate's meaning, the condition
+// manager would signal wrong threads or deadlock.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+#include "dnf/Dnf.h"
+#include "expr/Bytecode.h"
+#include "expr/Eval.h"
+#include "expr/Printer.h"
+#include "expr/Subst.h"
+#include "parse/PredicateParser.h"
+
+#include <gtest/gtest.h>
+
+using namespace autosynch;
+using testutil::Vars;
+
+namespace {
+
+struct PropertyCase {
+  uint64_t Seed;
+  int Depth;
+};
+
+class PropertyTest : public ::testing::TestWithParam<PropertyCase> {
+protected:
+  static constexpr int TrialsPerCase = 150;
+  static constexpr int EnvsPerTrial = 8;
+};
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, PropertyTest,
+    ::testing::Values(PropertyCase{1, 2}, PropertyCase{2, 3},
+                      PropertyCase{3, 4}, PropertyCase{4, 5},
+                      PropertyCase{5, 6}),
+    [](const auto &Info) {
+      return "seed" + std::to_string(Info.param.Seed) + "depth" +
+             std::to_string(Info.param.Depth);
+    });
+
+TEST_P(PropertyTest, BytecodeMatchesTreeWalk) {
+  Vars V;
+  ExprArena A;
+  Rng R(GetParam().Seed);
+  for (int T = 0; T != TrialsPerCase; ++T) {
+    ExprRef E =
+        testutil::randomExpr(R, A, V, TypeKind::Bool, GetParam().Depth);
+    CompiledPredicate P = CompiledPredicate::compile(E);
+    for (int I = 0; I != EnvsPerTrial; ++I) {
+      MapEnv Env = testutil::randomEnv(R, V);
+      ASSERT_EQ(P.run(Env), eval(E, Env)) << printExpr(E, V.Syms);
+    }
+  }
+}
+
+TEST_P(PropertyTest, BytecodeMatchesTreeWalkOnIntExprs) {
+  Vars V;
+  ExprArena A;
+  Rng R(GetParam().Seed ^ 0x9999);
+  for (int T = 0; T != TrialsPerCase; ++T) {
+    ExprRef E =
+        testutil::randomExpr(R, A, V, TypeKind::Int, GetParam().Depth);
+    CompiledPredicate P = CompiledPredicate::compile(E);
+    for (int I = 0; I != EnvsPerTrial; ++I) {
+      MapEnv Env = testutil::randomEnv(R, V);
+      ASSERT_EQ(P.run(Env), eval(E, Env)) << printExpr(E, V.Syms);
+    }
+  }
+}
+
+TEST_P(PropertyTest, NnfPreservesMeaning) {
+  Vars V;
+  ExprArena A;
+  Rng R(GetParam().Seed ^ 0xABCD);
+  for (int T = 0; T != TrialsPerCase; ++T) {
+    ExprRef E =
+        testutil::randomExpr(R, A, V, TypeKind::Bool, GetParam().Depth);
+    ExprRef N = toNnf(A, E);
+    for (int I = 0; I != EnvsPerTrial; ++I) {
+      MapEnv Env = testutil::randomEnv(R, V);
+      ASSERT_EQ(evalBool(N, Env), evalBool(E, Env))
+          << printExpr(E, V.Syms) << "  NNF: " << printExpr(N, V.Syms);
+    }
+  }
+}
+
+TEST_P(PropertyTest, DnfPreservesMeaning) {
+  Vars V;
+  ExprArena A;
+  Rng R(GetParam().Seed ^ 0x1234);
+  for (int T = 0; T != TrialsPerCase; ++T) {
+    ExprRef E =
+        testutil::randomExpr(R, A, V, TypeKind::Bool, GetParam().Depth);
+    Dnf D = toDnf(A, E);
+    ExprRef Back = dnfToExpr(A, D);
+    for (int I = 0; I != EnvsPerTrial; ++I) {
+      MapEnv Env = testutil::randomEnv(R, V);
+      ASSERT_EQ(evalBool(Back, Env), evalBool(E, Env))
+          << printExpr(E, V.Syms) << "  DNF: " << printExpr(Back, V.Syms);
+    }
+  }
+}
+
+TEST_P(PropertyTest, CanonicalizationPreservesMeaning) {
+  // The strongest property: globalize, canonicalize, and compare against
+  // the original under many environments. This is exactly the
+  // transformation every registered waituntil predicate undergoes.
+  Vars V;
+  ExprArena A;
+  Rng R(GetParam().Seed ^ 0x5555);
+  for (int T = 0; T != TrialsPerCase; ++T) {
+    ExprRef E =
+        testutil::randomExpr(R, A, V, TypeKind::Bool, GetParam().Depth);
+    MapEnv Locals = testutil::randomEnv(R, V);
+    ExprRef G = globalize(A, E, V.Syms, Locals);
+    CanonicalPredicate CP = canonicalizePredicate(A, G);
+    for (int I = 0; I != EnvsPerTrial; ++I) {
+      MapEnv Env = testutil::randomEnv(R, V);
+      // Keep the globalized locals fixed; vary the shared state.
+      MapEnv Mixed = Locals;
+      for (VarId Id : {V.X, V.Y, V.Z})
+        Mixed.bind(Id, Env.get(Id));
+      Mixed.bind(V.Flag, Env.get(V.Flag));
+      ASSERT_EQ(evalBool(CP.Expr, Mixed), evalBool(E, Mixed))
+          << printExpr(E, V.Syms)
+          << "  canon: " << printExpr(CP.Expr, V.Syms);
+    }
+  }
+}
+
+TEST_P(PropertyTest, CanonicalizationIsIdempotent) {
+  Vars V;
+  ExprArena A;
+  Rng R(GetParam().Seed ^ 0x7777);
+  for (int T = 0; T != TrialsPerCase; ++T) {
+    ExprRef E =
+        testutil::randomExpr(R, A, V, TypeKind::Bool, GetParam().Depth);
+    MapEnv Locals = testutil::randomEnv(R, V);
+    ExprRef G = globalize(A, E, V.Syms, Locals);
+    CanonicalPredicate Once = canonicalizePredicate(A, G);
+    CanonicalPredicate Twice = canonicalizePredicate(A, Once.Expr);
+    ASSERT_EQ(Once.Expr, Twice.Expr) << printExpr(G, V.Syms);
+  }
+}
+
+TEST_P(PropertyTest, PrinterOutputReparsesToSameNode) {
+  Vars V;
+  ExprArena A;
+  Rng R(GetParam().Seed ^ 0xDEAD);
+  for (int T = 0; T != TrialsPerCase; ++T) {
+    ExprRef E =
+        testutil::randomExpr(R, A, V, TypeKind::Bool, GetParam().Depth);
+    std::string Src = printExpr(E, V.Syms);
+    PredicateParseResult P = parseExpression(Src, A, V.Syms);
+    ASSERT_TRUE(P.ok()) << Src << "  error: " << P.Error.toString();
+    ASSERT_EQ(P.Expr, E) << Src;
+  }
+}
+
+} // namespace

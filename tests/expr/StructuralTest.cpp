@@ -1,0 +1,107 @@
+//===- tests/expr/StructuralTest.cpp - Structural order laws ----------------===//
+//
+// Part of AutoSynch-C++, a reproduction of "AutoSynch: An Automatic-Signal
+// Monitor Based on Predicate Tagging" (Hung & Garg, PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+//
+// The canonical form of a predicate depends on structuralCompare being a
+// total order consistent with interning; these properties make sorted DNFs
+// deterministic across runs (and therefore golden-testable).
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+#include "expr/Structural.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+using namespace autosynch;
+using testutil::Vars;
+
+namespace {
+
+TEST(StructuralTest, ZeroExactlyOnIdenticalNodes) {
+  Vars V;
+  ExprArena A;
+  ExprRef X = A.var(V.Syms.info(V.X));
+  ExprRef E1 = A.binary(ExprKind::Ge, X, A.intLit(3));
+  ExprRef E2 = A.binary(ExprKind::Ge, X, A.intLit(3));
+  EXPECT_EQ(structuralCompare(E1, E2), 0); // Interned: same node.
+  ExprRef E3 = A.binary(ExprKind::Ge, X, A.intLit(4));
+  EXPECT_NE(structuralCompare(E1, E3), 0);
+}
+
+TEST(StructuralTest, Antisymmetry) {
+  Vars V;
+  ExprArena A;
+  Rng R(31);
+  for (int I = 0; I != 300; ++I) {
+    ExprRef E1 = testutil::randomExpr(R, A, V, TypeKind::Bool, 3);
+    ExprRef E2 = testutil::randomExpr(R, A, V, TypeKind::Bool, 3);
+    int Fwd = structuralCompare(E1, E2);
+    int Bwd = structuralCompare(E2, E1);
+    if (Fwd == 0) {
+      EXPECT_EQ(E1, E2); // Zero implies identity (interning).
+      EXPECT_EQ(Bwd, 0);
+    } else {
+      EXPECT_EQ(Fwd > 0, Bwd < 0);
+    }
+  }
+}
+
+TEST(StructuralTest, TransitivityOnRandomTriples) {
+  Vars V;
+  ExprArena A;
+  Rng R(37);
+  for (int I = 0; I != 200; ++I) {
+    ExprRef E[3];
+    for (auto &Slot : E)
+      Slot = testutil::randomExpr(R, A, V, TypeKind::Bool, 3);
+    std::sort(E, E + 3, StructuralLess());
+    EXPECT_LE(structuralCompare(E[0], E[1]), 0);
+    EXPECT_LE(structuralCompare(E[1], E[2]), 0);
+    EXPECT_LE(structuralCompare(E[0], E[2]), 0);
+  }
+}
+
+TEST(StructuralTest, SortingIsDeterministicAcrossShuffles) {
+  Vars V;
+  ExprArena A;
+  Rng R(41);
+  std::vector<ExprRef> Exprs;
+  for (int I = 0; I != 40; ++I)
+    Exprs.push_back(testutil::randomExpr(R, A, V, TypeKind::Bool, 3));
+
+  std::vector<ExprRef> Sorted1 = Exprs;
+  std::sort(Sorted1.begin(), Sorted1.end(), StructuralLess());
+
+  // Shuffle differently and re-sort: identical result required.
+  std::vector<ExprRef> Shuffled = Exprs;
+  for (size_t I = Shuffled.size(); I > 1; --I)
+    std::swap(Shuffled[I - 1], Shuffled[R.range(0, I - 1)]);
+  std::sort(Shuffled.begin(), Shuffled.end(), StructuralLess());
+  EXPECT_EQ(Sorted1, Shuffled);
+}
+
+TEST(StructuralTest, OrdersByKindThenPayloadThenOperands) {
+  Vars V;
+  ExprArena A;
+  // Kind: IntLit < Var (enum order).
+  EXPECT_LT(structuralCompare(A.intLit(100), A.var(V.Syms.info(V.X))), 0);
+  // Payload: smaller literal first.
+  EXPECT_LT(structuralCompare(A.intLit(-5), A.intLit(3)), 0);
+  // VarId order.
+  EXPECT_LT(structuralCompare(A.var(V.Syms.info(V.X)),
+                              A.var(V.Syms.info(V.Y))),
+            0);
+  // Operands compared left to right.
+  ExprRef X = A.var(V.Syms.info(V.X));
+  ExprRef L = A.binary(ExprKind::Ge, X, A.intLit(3));
+  ExprRef Rhs = A.binary(ExprKind::Ge, X, A.intLit(9));
+  EXPECT_LT(structuralCompare(L, Rhs), 0);
+}
+
+} // namespace

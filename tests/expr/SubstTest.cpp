@@ -1,0 +1,94 @@
+//===- tests/expr/SubstTest.cpp - Globalization tests -----------------------===//
+//
+// Part of AutoSynch-C++, a reproduction of "AutoSynch: An Automatic-Signal
+// Monitor Based on Predicate Tagging" (Hung & Garg, PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+#include "expr/Eval.h"
+#include "expr/Subst.h"
+
+#include <gtest/gtest.h>
+
+using namespace autosynch;
+using testutil::Vars;
+
+namespace {
+
+class SubstTest : public ::testing::Test {
+protected:
+  Vars V;
+  ExprArena A;
+
+  ExprRef x() { return A.var(V.Syms.info(V.X)); }
+  ExprRef a() { return A.var(V.Syms.info(V.A)); }
+  ExprRef b() { return A.var(V.Syms.info(V.B)); }
+};
+
+TEST_F(SubstTest, SharedPredicateDetection) {
+  ExprRef SharedPred = A.binary(ExprKind::Ge, x(), A.intLit(3));
+  EXPECT_FALSE(isComplex(SharedPred, V.Syms));
+  ExprRef ComplexPred = A.binary(ExprKind::Ge, x(), a());
+  EXPECT_TRUE(isComplex(ComplexPred, V.Syms)); // Paper Def. 1.
+}
+
+TEST_F(SubstTest, GroundDetection) {
+  EXPECT_TRUE(isGround(A.binary(ExprKind::Add, A.intLit(1), A.intLit(2))));
+  EXPECT_FALSE(isGround(x()));
+}
+
+TEST_F(SubstTest, GlobalizationSubstitutesLocalsOnly) {
+  // The paper's running example: count >= num, num local, becomes
+  // count >= 48 (Definition 2).
+  ExprRef P = A.binary(ExprKind::Ge, x(), a());
+  MapEnv Locals;
+  Locals.bindInt(V.A, 48);
+  ExprRef G = globalize(A, P, V.Syms, Locals);
+  EXPECT_EQ(G, A.binary(ExprKind::Ge, x(), A.intLit(48)));
+  EXPECT_FALSE(isComplex(G, V.Syms)); // Now a shared predicate.
+}
+
+TEST_F(SubstTest, GlobalizationFoldsLocalArithmetic) {
+  // x >= a + b with a=40, b=8 collapses to x >= 48: identical to the
+  // predicate another thread wrote directly.
+  ExprRef P = A.binary(ExprKind::Ge, x(), A.binary(ExprKind::Add, a(), b()));
+  MapEnv Locals;
+  Locals.bindInt(V.A, 40).bindInt(V.B, 8);
+  EXPECT_EQ(globalize(A, P, V.Syms, Locals),
+            A.binary(ExprKind::Ge, x(), A.intLit(48)));
+}
+
+TEST_F(SubstTest, GlobalizationLeavesSharedPredicatesAlone) {
+  ExprRef P = A.binary(ExprKind::Ge, x(), A.intLit(3));
+  EXPECT_EQ(globalize(A, P, V.Syms, MapEnv()), P);
+}
+
+TEST_F(SubstTest, UnboundLocalIsFatal) {
+  ExprRef P = A.binary(ExprKind::Ge, x(), a());
+  MapEnv Empty;
+  EXPECT_DEATH(globalize(A, P, V.Syms, Empty), "unbound local");
+}
+
+TEST_F(SubstTest, SubstituteReplacesAnyBoundVariable) {
+  ExprRef P = A.binary(ExprKind::Add, x(), a());
+  MapEnv Bindings;
+  Bindings.bindInt(V.X, 2).bindInt(V.A, 3);
+  EXPECT_EQ(substitute(A, P, Bindings), A.intLit(5));
+}
+
+TEST_F(SubstTest, SemanticEquivalenceProposition1) {
+  // Proposition 1: P(x, a) == P(x, a_t) under any shared state, when the
+  // locals hold the globalized values.
+  Rng R(123);
+  for (int Trial = 0; Trial != 200; ++Trial) {
+    ExprRef P = testutil::randomExpr(R, A, V, TypeKind::Bool, 4);
+    MapEnv Env = testutil::randomEnv(R, V);
+    ExprRef G = globalize(A, P, V.Syms, Env);
+    EXPECT_FALSE(isComplex(G, V.Syms));
+    EXPECT_EQ(evalBool(G, Env), evalBool(P, Env))
+        << "trial " << Trial;
+  }
+}
+
+} // namespace

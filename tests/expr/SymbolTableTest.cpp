@@ -1,0 +1,70 @@
+//===- tests/expr/SymbolTableTest.cpp - Symbol table tests ------------------===//
+//
+// Part of AutoSynch-C++, a reproduction of "AutoSynch: An Automatic-Signal
+// Monitor Based on Predicate Tagging" (Hung & Garg, PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "expr/SymbolTable.h"
+
+#include <gtest/gtest.h>
+
+using namespace autosynch;
+
+TEST(SymbolTableTest, DeclareAssignsDenseIds) {
+  SymbolTable S;
+  EXPECT_EQ(S.declare("a", TypeKind::Int, VarScope::Shared), 0u);
+  EXPECT_EQ(S.declare("b", TypeKind::Bool, VarScope::Local), 1u);
+  EXPECT_EQ(S.size(), 2u);
+}
+
+TEST(SymbolTableTest, LookupFindsDeclared) {
+  SymbolTable S;
+  S.declare("count", TypeKind::Int, VarScope::Shared);
+  const VarInfo *Info = S.lookup("count");
+  ASSERT_NE(Info, nullptr);
+  EXPECT_EQ(Info->Name, "count");
+  EXPECT_EQ(Info->Type, TypeKind::Int);
+  EXPECT_EQ(Info->Scope, VarScope::Shared);
+}
+
+TEST(SymbolTableTest, LookupMissReturnsNull) {
+  SymbolTable S;
+  EXPECT_EQ(S.lookup("ghost"), nullptr);
+}
+
+TEST(SymbolTableTest, ScopePredicates) {
+  SymbolTable S;
+  VarId Sh = S.declare("sh", TypeKind::Int, VarScope::Shared);
+  VarId Lo = S.declare("lo", TypeKind::Int, VarScope::Local);
+  EXPECT_TRUE(S.isShared(Sh));
+  EXPECT_FALSE(S.isLocal(Sh));
+  EXPECT_TRUE(S.isLocal(Lo));
+}
+
+TEST(SymbolTableTest, DuplicateDeclarationIsFatal) {
+  SymbolTable S;
+  S.declare("x", TypeKind::Int, VarScope::Shared);
+  EXPECT_DEATH(S.declare("x", TypeKind::Bool, VarScope::Local),
+               "duplicate variable");
+}
+
+TEST(SymbolTableTest, EmptyNameIsFatal) {
+  SymbolTable S;
+  EXPECT_DEATH(S.declare("", TypeKind::Int, VarScope::Shared),
+               "non-empty");
+}
+
+TEST(SymbolTableTest, InfoOutOfRangeIsFatal) {
+  SymbolTable S;
+  EXPECT_DEATH(S.info(0), "out of range");
+}
+
+TEST(SymbolTableTest, VariablesInDeclarationOrder) {
+  SymbolTable S;
+  S.declare("first", TypeKind::Int, VarScope::Shared);
+  S.declare("second", TypeKind::Int, VarScope::Local);
+  ASSERT_EQ(S.variables().size(), 2u);
+  EXPECT_EQ(S.variables()[0].Name, "first");
+  EXPECT_EQ(S.variables()[1].Name, "second");
+}

@@ -1,0 +1,142 @@
+//===- tests/parse/LexerTest.cpp - Lexer tests -------------------------------===//
+//
+// Part of AutoSynch-C++, a reproduction of "AutoSynch: An Automatic-Signal
+// Monitor Based on Predicate Tagging" (Hung & Garg, PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "parse/Lexer.h"
+
+#include <gtest/gtest.h>
+
+using namespace autosynch;
+
+namespace {
+
+std::vector<TokenKind> kinds(std::string_view Src) {
+  std::vector<TokenKind> Out;
+  for (const Token &T : Lexer::tokenize(Src))
+    Out.push_back(T.Kind);
+  return Out;
+}
+
+TEST(LexerTest, EmptyInput) {
+  Lexer L("");
+  EXPECT_TRUE(L.next().is(TokenKind::Eof));
+  EXPECT_TRUE(L.next().is(TokenKind::Eof)); // Eof repeats.
+}
+
+TEST(LexerTest, WhitespaceOnly) {
+  EXPECT_TRUE(kinds(" \t\r\n  ").empty());
+}
+
+TEST(LexerTest, Identifiers) {
+  auto Toks = Lexer::tokenize("count putPtr _x a1_b2");
+  ASSERT_EQ(Toks.size(), 4u);
+  for (const Token &T : Toks)
+    EXPECT_TRUE(T.is(TokenKind::Identifier));
+  EXPECT_EQ(Toks[0].Spelling, "count");
+  EXPECT_EQ(Toks[3].Spelling, "a1_b2");
+}
+
+TEST(LexerTest, Keywords) {
+  EXPECT_EQ(kinds("monitor shared method waituntil int bool"),
+            (std::vector<TokenKind>{
+                TokenKind::KwMonitor, TokenKind::KwShared,
+                TokenKind::KwMethod, TokenKind::KwWaituntil,
+                TokenKind::KwInt, TokenKind::KwBool}));
+  EXPECT_EQ(kinds("true false if else while return returns"),
+            (std::vector<TokenKind>{
+                TokenKind::KwTrue, TokenKind::KwFalse, TokenKind::KwIf,
+                TokenKind::KwElse, TokenKind::KwWhile, TokenKind::KwReturn,
+                TokenKind::KwReturns}));
+}
+
+TEST(LexerTest, KeywordPrefixIsIdentifier) {
+  auto Toks = Lexer::tokenize("monitors truex whileLoop");
+  for (const Token &T : Toks)
+    EXPECT_TRUE(T.is(TokenKind::Identifier)) << T.Spelling;
+}
+
+TEST(LexerTest, IntegerLiterals) {
+  auto Toks = Lexer::tokenize("0 42 9223372036854775807");
+  ASSERT_EQ(Toks.size(), 3u);
+  EXPECT_EQ(Toks[0].IntValue, 0);
+  EXPECT_EQ(Toks[1].IntValue, 42);
+  EXPECT_EQ(Toks[2].IntValue, INT64_MAX);
+}
+
+TEST(LexerTest, IntegerOverflowIsError) {
+  auto Toks = Lexer::tokenize("9223372036854775808"); // INT64_MAX + 1.
+  ASSERT_EQ(Toks.size(), 1u);
+  EXPECT_TRUE(Toks[0].is(TokenKind::Error));
+}
+
+TEST(LexerTest, Operators) {
+  EXPECT_EQ(kinds("+ - * / % == != < <= > >= && || ! ="),
+            (std::vector<TokenKind>{
+                TokenKind::Plus, TokenKind::Minus, TokenKind::Star,
+                TokenKind::Slash, TokenKind::Percent, TokenKind::EqEq,
+                TokenKind::NotEq, TokenKind::Less, TokenKind::LessEq,
+                TokenKind::Greater, TokenKind::GreaterEq, TokenKind::AmpAmp,
+                TokenKind::PipePipe, TokenKind::Bang, TokenKind::Assign}));
+}
+
+TEST(LexerTest, MaximalMunch) {
+  // "<=" is one token, not "<" "=".
+  EXPECT_EQ(kinds("a<=b"), (std::vector<TokenKind>{TokenKind::Identifier,
+                                                   TokenKind::LessEq,
+                                                   TokenKind::Identifier}));
+  EXPECT_EQ(kinds("a==b"), (std::vector<TokenKind>{TokenKind::Identifier,
+                                                   TokenKind::EqEq,
+                                                   TokenKind::Identifier}));
+}
+
+TEST(LexerTest, Punctuation) {
+  EXPECT_EQ(kinds("( ) { } , ;"),
+            (std::vector<TokenKind>{TokenKind::LParen, TokenKind::RParen,
+                                    TokenKind::LBrace, TokenKind::RBrace,
+                                    TokenKind::Comma,
+                                    TokenKind::Semicolon}));
+}
+
+TEST(LexerTest, LineComments) {
+  auto Toks = Lexer::tokenize("a // the rest vanishes\nb");
+  ASSERT_EQ(Toks.size(), 2u);
+  EXPECT_EQ(Toks[0].Spelling, "a");
+  EXPECT_EQ(Toks[1].Spelling, "b");
+}
+
+TEST(LexerTest, BlockComments) {
+  auto Toks = Lexer::tokenize("a /* span\nmultiple\nlines */ b");
+  ASSERT_EQ(Toks.size(), 2u);
+  EXPECT_EQ(Toks[1].Spelling, "b");
+  EXPECT_EQ(Toks[1].Line, 3);
+}
+
+TEST(LexerTest, UnterminatedBlockCommentReachesEof) {
+  EXPECT_TRUE(kinds("a /* never closed").size() == 1);
+}
+
+TEST(LexerTest, LineAndColumnTracking) {
+  auto Toks = Lexer::tokenize("ab\n  cd");
+  ASSERT_EQ(Toks.size(), 2u);
+  EXPECT_EQ(Toks[0].Line, 1);
+  EXPECT_EQ(Toks[0].Col, 1);
+  EXPECT_EQ(Toks[1].Line, 2);
+  EXPECT_EQ(Toks[1].Col, 3);
+}
+
+TEST(LexerTest, SingleAmpersandIsError) {
+  auto Toks = Lexer::tokenize("a & b");
+  ASSERT_EQ(Toks.size(), 3u);
+  EXPECT_TRUE(Toks[1].is(TokenKind::Error));
+}
+
+TEST(LexerTest, UnknownCharacterIsError) {
+  auto Toks = Lexer::tokenize("a @ b");
+  ASSERT_EQ(Toks.size(), 3u);
+  EXPECT_TRUE(Toks[1].is(TokenKind::Error));
+}
+
+} // namespace

@@ -1,0 +1,170 @@
+//===- tests/parse/ParserTest.cpp - Predicate parser tests -------------------===//
+//
+// Part of AutoSynch-C++, a reproduction of "AutoSynch: An Automatic-Signal
+// Monitor Based on Predicate Tagging" (Hung & Garg, PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+#include "expr/Eval.h"
+#include "expr/Printer.h"
+#include "parse/PredicateParser.h"
+
+#include <gtest/gtest.h>
+
+using namespace autosynch;
+using testutil::Vars;
+
+namespace {
+
+class ParserTest : public ::testing::Test {
+protected:
+  Vars V;
+  ExprArena A;
+
+  ExprRef parseOk(std::string_view Src) {
+    PredicateParseResult R = parsePredicate(Src, A, V.Syms);
+    EXPECT_TRUE(R.ok()) << Src << ": " << R.Error.toString();
+    return R.Expr;
+  }
+
+  std::string parseErr(std::string_view Src) {
+    PredicateParseResult R = parsePredicate(Src, A, V.Syms);
+    EXPECT_FALSE(R.ok()) << Src;
+    return R.Error.Message;
+  }
+};
+
+TEST_F(ParserTest, SimpleComparison) {
+  ExprRef E = parseOk("x >= 3");
+  EXPECT_EQ(E, A.binary(ExprKind::Ge, A.var(V.Syms.info(V.X)),
+                        A.intLit(3)));
+}
+
+TEST_F(ParserTest, PrecedenceMulOverAdd) {
+  EXPECT_EQ(parseOk("x + 2 * y == 7"),
+            parseOk("x + (2 * y) == 7"));
+  EXPECT_NE(parseOk("x + 2 * y == 7"), parseOk("(x + 2) * y == 7"));
+}
+
+TEST_F(ParserTest, PrecedenceAndOverOr) {
+  // a || b && c parses as a || (b && c).
+  ExprRef E = parseOk("flag || x > 0 && y > 0");
+  EXPECT_EQ(E->kind(), ExprKind::Or);
+  EXPECT_EQ(E->rhs()->kind(), ExprKind::And);
+}
+
+TEST_F(ParserTest, LeftAssociativeChains) {
+  // x - y - 1 is (x - y) - 1.
+  ExprRef E = parseOk("x - y - 1 == 0");
+  ExprRef Sub = E->lhs();
+  EXPECT_EQ(Sub->kind(), ExprKind::Sub);
+  EXPECT_EQ(Sub->lhs()->kind(), ExprKind::Sub);
+}
+
+TEST_F(ParserTest, UnaryOperators) {
+  EXPECT_EQ(parseOk("-x < 0"),
+            A.binary(ExprKind::Lt,
+                     A.unary(ExprKind::Neg, A.var(V.Syms.info(V.X))),
+                     A.intLit(0)));
+  EXPECT_EQ(parseOk("!flag"),
+            A.unary(ExprKind::Not, A.var(V.Syms.info(V.Flag))));
+  EXPECT_EQ(parseOk("!!flag"), parseOk("!(!flag)"));
+}
+
+TEST_F(ParserTest, ParenthesizedGrouping) {
+  EXPECT_EQ(parseOk("(x + 1) * y >= 6"),
+            A.binary(ExprKind::Ge,
+                     A.binary(ExprKind::Mul,
+                              A.binary(ExprKind::Add,
+                                       A.var(V.Syms.info(V.X)),
+                                       A.intLit(1)),
+                              A.var(V.Syms.info(V.Y))),
+                     A.intLit(6)));
+}
+
+TEST_F(ParserTest, BoolLiteralsAndVars) {
+  EXPECT_EQ(parseOk("true"), A.boolLit(true));
+  EXPECT_EQ(parseOk("flag == false"),
+            A.binary(ExprKind::Eq, A.var(V.Syms.info(V.Flag)),
+                     A.boolLit(false)));
+}
+
+TEST_F(ParserTest, ComparisonIsNonAssociative) {
+  EXPECT_NE(parseErr("x < y < z").find("unexpected"), std::string::npos);
+}
+
+TEST_F(ParserTest, UndeclaredVariableIsError) {
+  EXPECT_NE(parseErr("ghost > 0").find("undeclared variable 'ghost'"),
+            std::string::npos);
+}
+
+TEST_F(ParserTest, AutoDeclareCreatesLocals) {
+  PredicateParseOptions Options;
+  Options.AutoDeclareLocals = true;
+  PredicateParseResult R = parsePredicate("x >= num", A, V.Syms, Options);
+  ASSERT_TRUE(R.ok());
+  const VarInfo *Num = V.Syms.lookup("num");
+  ASSERT_NE(Num, nullptr);
+  EXPECT_EQ(Num->Scope, VarScope::Local);
+  EXPECT_EQ(Num->Type, TypeKind::Int);
+}
+
+TEST_F(ParserTest, TypeErrors) {
+  EXPECT_NE(parseErr("x && flag").find("'&&' requires bool"),
+            std::string::npos);
+  EXPECT_NE(parseErr("flag + 1").find("arithmetic requires int"),
+            std::string::npos);
+  EXPECT_NE(parseErr("flag < true").find("ordering comparison"),
+            std::string::npos);
+  EXPECT_NE(parseErr("x == flag").find("same type"), std::string::npos);
+  EXPECT_NE(parseErr("!x").find("'!' requires a bool"), std::string::npos);
+  EXPECT_NE(parseErr("-flag > 0").find("unary '-' requires an int"),
+            std::string::npos);
+}
+
+TEST_F(ParserTest, IntPredicateRejected) {
+  EXPECT_NE(parseErr("x + 1").find("must be bool-typed"),
+            std::string::npos);
+}
+
+TEST_F(ParserTest, IntExpressionAcceptedByParseExpression) {
+  PredicateParseResult R = parseExpression("x + 1", A, V.Syms);
+  ASSERT_TRUE(R.ok());
+  EXPECT_EQ(R.Expr->type(), TypeKind::Int);
+}
+
+TEST_F(ParserTest, TrailingGarbageIsError) {
+  EXPECT_NE(parseErr("x > 0 x").find("unexpected"), std::string::npos);
+}
+
+TEST_F(ParserTest, MissingCloseParen) {
+  EXPECT_NE(parseErr("(x > 0").find("expected ')'"), std::string::npos);
+}
+
+TEST_F(ParserTest, EmptyInputIsError) {
+  EXPECT_NE(parseErr("").find("expected an expression"),
+            std::string::npos);
+}
+
+TEST_F(ParserTest, ErrorLocationsAreReported) {
+  PredicateParseResult R = parsePredicate("x >\n  ghost", A, V.Syms);
+  ASSERT_FALSE(R.ok());
+  EXPECT_EQ(R.Error.Line, 2);
+  EXPECT_EQ(R.Error.Col, 3);
+}
+
+TEST_F(ParserTest, PaperExamplePredicates) {
+  // Predicates from the paper's figures parse and round-trip.
+  PredicateParseOptions Options;
+  Options.AutoDeclareLocals = true;
+  for (const char *Src :
+       {"x == 1 && y == 6 || z != 8", "x - 2 * y > 9",
+        "x >= 5 && y != 1", "x > 7", "x == 8 && y == 9"}) {
+    PredicateParseResult R = parsePredicate(Src, A, V.Syms, Options);
+    ASSERT_TRUE(R.ok()) << Src;
+    EXPECT_EQ(printExpr(R.Expr, V.Syms), Src);
+  }
+}
+
+} // namespace

@@ -1,0 +1,137 @@
+//===- tests/problems/BoundedBufferTest.cpp - Bounded buffer tests ----------===//
+//
+// Part of AutoSynch-C++, a reproduction of "AutoSynch: An Automatic-Signal
+// Monitor Based on Predicate Tagging" (Hung & Garg, PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ProblemTestUtil.h"
+#include "problems/BoundedBuffer.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+using namespace autosynch;
+
+namespace {
+
+class BoundedBufferTest : public ::testing::TestWithParam<Mechanism> {};
+
+INSTANTIATE_TEST_SUITE_P(Mechanisms, BoundedBufferTest,
+                         testutil::allMechanisms(),
+                         testutil::mechanismTestName);
+
+TEST_P(BoundedBufferTest, SingleThreadPutTake) {
+  auto B = makeBoundedBuffer(GetParam(), 4);
+  B->put(11);
+  B->put(22);
+  EXPECT_EQ(B->size(), 2);
+  EXPECT_EQ(B->take(), 11); // FIFO.
+  EXPECT_EQ(B->take(), 22);
+  EXPECT_EQ(B->size(), 0);
+}
+
+TEST_P(BoundedBufferTest, FillsToCapacityExactly) {
+  auto B = makeBoundedBuffer(GetParam(), 3);
+  B->put(1);
+  B->put(2);
+  B->put(3);
+  EXPECT_EQ(B->size(), 3);
+  EXPECT_EQ(B->take(), 1);
+  B->put(4); // Space freed; must not block.
+  EXPECT_EQ(B->size(), 3);
+}
+
+TEST_P(BoundedBufferTest, ProducerBlocksUntilConsumerFreesSpace) {
+  auto B = makeBoundedBuffer(GetParam(), 1);
+  B->put(1);
+  std::atomic<bool> SecondPutDone{false};
+  std::thread Producer([&] {
+    B->put(2); // Blocks: buffer full.
+    SecondPutDone = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(SecondPutDone.load());
+  EXPECT_EQ(B->take(), 1);
+  Producer.join();
+  EXPECT_TRUE(SecondPutDone.load());
+  EXPECT_EQ(B->take(), 2);
+}
+
+TEST_P(BoundedBufferTest, ConsumerBlocksUntilProducerArrives) {
+  auto B = makeBoundedBuffer(GetParam(), 4);
+  std::atomic<bool> TookSomething{false};
+  std::thread Consumer([&] {
+    EXPECT_EQ(B->take(), 99);
+    TookSomething = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(TookSomething.load());
+  B->put(99);
+  Consumer.join();
+}
+
+TEST_P(BoundedBufferTest, ConservationUnderContention) {
+  auto B = makeBoundedBuffer(GetParam(), 8);
+  constexpr int Producers = 4, Consumers = 4;
+  constexpr int64_t OpsPerThread = 1000;
+
+  std::atomic<int64_t> SumPut{0}, SumTaken{0};
+  std::vector<std::thread> Pool;
+  for (int P = 0; P != Producers; ++P) {
+    Pool.emplace_back([&, P] {
+      for (int64_t I = 0; I != OpsPerThread; ++I) {
+        int64_t Item = P * OpsPerThread + I + 1;
+        B->put(Item);
+        SumPut += Item;
+      }
+    });
+  }
+  for (int C = 0; C != Consumers; ++C) {
+    Pool.emplace_back([&] {
+      for (int64_t I = 0; I != OpsPerThread; ++I)
+        SumTaken += B->take();
+    });
+  }
+  for (auto &T : Pool)
+    T.join();
+
+  EXPECT_EQ(B->size(), 0);
+  EXPECT_EQ(SumPut.load(), SumTaken.load()); // No item lost or duplicated.
+}
+
+TEST_P(BoundedBufferTest, CapacityNeverExceeded) {
+  auto B = makeBoundedBuffer(GetParam(), 4);
+  std::atomic<bool> Stop{false};
+  std::atomic<int64_t> MaxSeen{0};
+  std::thread Observer([&] {
+    while (!Stop) {
+      int64_t S = B->size();
+      int64_t Prev = MaxSeen.load();
+      while (S > Prev && !MaxSeen.compare_exchange_weak(Prev, S))
+        ;
+    }
+  });
+
+  std::vector<std::thread> Pool;
+  for (int P = 0; P != 2; ++P)
+    Pool.emplace_back([&] {
+      for (int I = 0; I != 2000; ++I)
+        B->put(I);
+    });
+  for (int C = 0; C != 2; ++C)
+    Pool.emplace_back([&] {
+      for (int I = 0; I != 2000; ++I)
+        B->take();
+    });
+  for (auto &T : Pool)
+    T.join();
+  Stop = true;
+  Observer.join();
+  EXPECT_LE(MaxSeen.load(), 4);
+}
+
+} // namespace

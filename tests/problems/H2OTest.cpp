@@ -1,0 +1,122 @@
+//===- tests/problems/H2OTest.cpp - H2O barrier tests -----------------------===//
+//
+// Part of AutoSynch-C++, a reproduction of "AutoSynch: An Automatic-Signal
+// Monitor Based on Predicate Tagging" (Hung & Garg, PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ProblemTestUtil.h"
+#include "problems/H2O.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+using namespace autosynch;
+
+namespace {
+
+class H2OTest : public ::testing::TestWithParam<Mechanism> {};
+
+INSTANTIATE_TEST_SUITE_P(Mechanisms, H2OTest, testutil::allMechanisms(),
+                         testutil::mechanismTestName);
+
+TEST_P(H2OTest, OneMolecule) {
+  auto W = makeH2O(GetParam());
+  std::thread H1([&] { W->hydrogen(); });
+  std::thread H2([&] { W->hydrogen(); });
+  W->oxygen();
+  H1.join();
+  H2.join();
+  EXPECT_EQ(W->molecules(), 1);
+}
+
+TEST_P(H2OTest, OxygenWaitsForTwoHydrogens) {
+  auto W = makeH2O(GetParam());
+  std::atomic<bool> OxygenDone{false};
+  std::thread O([&] {
+    W->oxygen();
+    OxygenDone = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(OxygenDone.load());
+  std::thread H1([&] { W->hydrogen(); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(OxygenDone.load()); // One hydrogen is not enough.
+  std::thread H2([&] { W->hydrogen(); });
+  O.join();
+  H1.join();
+  H2.join();
+  EXPECT_TRUE(OxygenDone.load());
+}
+
+TEST_P(H2OTest, HydrogenWaitsForOxygen) {
+  auto W = makeH2O(GetParam());
+  std::atomic<int> HDone{0};
+  std::thread H1([&] {
+    W->hydrogen();
+    ++HDone;
+  });
+  std::thread H2([&] {
+    W->hydrogen();
+    ++HDone;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_EQ(HDone.load(), 0); // No oxygen yet: both blocked.
+  W->oxygen();
+  H1.join();
+  H2.join();
+  EXPECT_EQ(HDone.load(), 2);
+}
+
+TEST_P(H2OTest, StoichiometryUnderLoad) {
+  // The paper's setup: a single oxygen thread, many hydrogen threads.
+  // Hydrogens pull work from a shared counter: with fixed per-thread
+  // quotas a lagging thread could own the last two H arrivals, and no
+  // schedule can bond two hydrogens living in one sequential thread.
+  auto W = makeH2O(GetParam());
+  constexpr int HThreads = 8;
+  constexpr int64_t TotalH = 400; // -> 200 molecules.
+  std::atomic<int64_t> Remaining{TotalH};
+  std::vector<std::thread> Pool;
+  for (int I = 0; I != HThreads; ++I) {
+    Pool.emplace_back([&] {
+      while (Remaining.fetch_sub(1) > 0)
+        W->hydrogen();
+    });
+  }
+  std::thread O([&] {
+    for (int J = 0; J != TotalH / 2; ++J)
+      W->oxygen();
+  });
+  for (auto &T : Pool)
+    T.join();
+  O.join();
+  EXPECT_EQ(W->molecules(), TotalH / 2);
+}
+
+TEST_P(H2OTest, MultipleOxygenThreads) {
+  auto W = makeH2O(GetParam());
+  constexpr int64_t Molecules = 60;
+  std::atomic<int64_t> HRemaining{2 * Molecules};
+  std::vector<std::thread> Pool;
+  for (int I = 0; I != 4; ++I) { // 4 H threads pulling shared work.
+    Pool.emplace_back([&] {
+      while (HRemaining.fetch_sub(1) > 0)
+        W->hydrogen();
+    });
+  }
+  for (int I = 0; I != 2; ++I) { // 2 O threads.
+    Pool.emplace_back([&] {
+      for (int64_t J = 0; J != Molecules / 2; ++J)
+        W->oxygen();
+    });
+  }
+  for (auto &T : Pool)
+    T.join();
+  EXPECT_EQ(W->molecules(), Molecules);
+}
+
+} // namespace

@@ -1,0 +1,133 @@
+//===- tests/problems/ParamBoundedBufferTest.cpp - Fig. 1 buffer tests ------===//
+//
+// Part of AutoSynch-C++, a reproduction of "AutoSynch: An Automatic-Signal
+// Monitor Based on Predicate Tagging" (Hung & Garg, PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ProblemTestUtil.h"
+#include "problems/ParamBoundedBuffer.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+using namespace autosynch;
+
+namespace {
+
+class ParamBoundedBufferTest : public ::testing::TestWithParam<Mechanism> {
+};
+
+INSTANTIATE_TEST_SUITE_P(Mechanisms, ParamBoundedBufferTest,
+                         testutil::allMechanisms(),
+                         testutil::mechanismTestName);
+
+TEST_P(ParamBoundedBufferTest, BatchPutTake) {
+  auto B = makeParamBoundedBuffer(GetParam(), 64);
+  B->put(10);
+  B->put(20);
+  EXPECT_EQ(B->size(), 30);
+  B->take(25);
+  EXPECT_EQ(B->size(), 5);
+}
+
+TEST_P(ParamBoundedBufferTest, ProducerBlocksOnInsufficientSpace) {
+  auto B = makeParamBoundedBuffer(GetParam(), 10);
+  B->put(8);
+  std::atomic<bool> Done{false};
+  std::thread P([&] {
+    B->put(5); // Needs 5 free; only 2 free.
+    Done = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(Done.load());
+  B->take(4); // Now 4 + 2 >= 5 free... 6 free.
+  P.join();
+  EXPECT_EQ(B->size(), 9);
+}
+
+TEST_P(ParamBoundedBufferTest, ConsumerBlocksOnInsufficientItems) {
+  auto B = makeParamBoundedBuffer(GetParam(), 64);
+  B->put(3);
+  std::atomic<bool> Done{false};
+  std::thread C([&] {
+    B->take(10);
+    Done = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(Done.load());
+  B->put(7);
+  C.join();
+  EXPECT_EQ(B->size(), 0);
+}
+
+TEST_P(ParamBoundedBufferTest, PaperScenarioSelectiveWakeup) {
+  // §3's example: consumers wanting 48 items each; 64 items arrive; only
+  // one can be served until more arrive. No consumer may be lost.
+  auto B = makeParamBoundedBuffer(GetParam(), 256);
+  constexpr int Consumers = 5;
+  std::atomic<int> Served{0};
+  std::vector<std::thread> Pool;
+  for (int I = 0; I != Consumers; ++I) {
+    Pool.emplace_back([&] {
+      B->take(48);
+      ++Served;
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  B->put(64);
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_EQ(Served.load(), 1); // 64 - 48 = 16 < 48: one consumer only.
+  for (int I = 0; I != Consumers - 1; ++I)
+    B->put(48);
+  for (auto &T : Pool)
+    T.join();
+  EXPECT_EQ(Served.load(), Consumers);
+  EXPECT_EQ(B->size(), 16);
+}
+
+TEST_P(ParamBoundedBufferTest, RandomBatchesConserveItems) {
+  // The Fig. 14 workload in miniature: 1 producer, N consumers, random
+  // batch sizes, totals balanced up front.
+  auto B = makeParamBoundedBuffer(GetParam(), 256);
+  constexpr int Consumers = 4;
+  constexpr int OpsPerConsumer = 200;
+
+  // Precompute batches so production exactly covers demand.
+  std::vector<std::vector<int64_t>> Batches(Consumers);
+  int64_t Total = 0;
+  Rng R(99);
+  for (auto &Seq : Batches) {
+    for (int I = 0; I != OpsPerConsumer; ++I) {
+      Seq.push_back(R.range(1, 128));
+      Total += Seq.back();
+    }
+  }
+
+  std::vector<std::thread> Pool;
+  for (int C = 0; C != Consumers; ++C) {
+    Pool.emplace_back([&, C] {
+      for (int64_t N : Batches[C])
+        B->take(N);
+    });
+  }
+  std::thread Producer([&] {
+    Rng PR(7);
+    int64_t Remaining = Total;
+    while (Remaining > 0) {
+      int64_t N = std::min<int64_t>(Remaining, PR.range(1, 128));
+      B->put(N);
+      Remaining -= N;
+    }
+  });
+  for (auto &T : Pool)
+    T.join();
+  Producer.join();
+  EXPECT_EQ(B->size(), 0);
+}
+
+} // namespace

@@ -1,0 +1,39 @@
+//===- tests/problems/ProblemTestUtil.h - Problem test helpers -*- C++ -*-===//
+//
+// Part of AutoSynch-C++, a reproduction of "AutoSynch: An Automatic-Signal
+// Monitor Based on Predicate Tagging" (Hung & Garg, PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef AUTOSYNCH_TESTS_PROBLEMS_PROBLEMTESTUTIL_H
+#define AUTOSYNCH_TESTS_PROBLEMS_PROBLEMTESTUTIL_H
+
+#include "problems/Mechanism.h"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <string>
+
+namespace autosynch::testutil {
+
+/// All four mechanisms for INSTANTIATE_TEST_SUITE_P.
+inline auto allMechanisms() {
+  return ::testing::Values(Mechanism::Explicit, Mechanism::Baseline,
+                           Mechanism::AutoSynchT, Mechanism::AutoSynch);
+}
+
+/// Test-name-safe mechanism label.
+inline std::string
+mechanismTestName(const ::testing::TestParamInfo<Mechanism> &Info) {
+  std::string Name = mechanismName(Info.param);
+  std::string Out;
+  for (char C : Name)
+    if (std::isalnum(static_cast<unsigned char>(C)))
+      Out += C;
+  return Out;
+}
+
+} // namespace autosynch::testutil
+
+#endif // AUTOSYNCH_TESTS_PROBLEMS_PROBLEMTESTUTIL_H

@@ -1,0 +1,171 @@
+//===- tests/problems/ReadersWritersTest.cpp - RW lock tests ----------------===//
+//
+// Part of AutoSynch-C++, a reproduction of "AutoSynch: An Automatic-Signal
+// Monitor Based on Predicate Tagging" (Hung & Garg, PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ProblemTestUtil.h"
+#include "problems/ReadersWriters.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+using namespace autosynch;
+
+namespace {
+
+class ReadersWritersTest : public ::testing::TestWithParam<Mechanism> {};
+
+INSTANTIATE_TEST_SUITE_P(Mechanisms, ReadersWritersTest,
+                         testutil::allMechanisms(),
+                         testutil::mechanismTestName);
+
+TEST_P(ReadersWritersTest, SingleReaderAndWriter) {
+  auto RW = makeReadersWriters(GetParam());
+  RW->startRead();
+  RW->endRead();
+  RW->startWrite();
+  RW->endWrite();
+  EXPECT_EQ(RW->reads(), 1);
+  EXPECT_EQ(RW->writes(), 1);
+}
+
+TEST_P(ReadersWritersTest, WritersAreExclusive) {
+  auto RW = makeReadersWriters(GetParam());
+  std::atomic<int> InCritical{0};
+  std::atomic<int> MaxInCritical{0};
+  std::atomic<int> ReadersDuringWrite{0};
+  std::atomic<int> ActiveReaders{0};
+
+  std::vector<std::thread> Pool;
+  for (int W = 0; W != 3; ++W) {
+    Pool.emplace_back([&] {
+      for (int I = 0; I != 100; ++I) {
+        RW->startWrite();
+        int Now = ++InCritical;
+        int Max = MaxInCritical.load();
+        while (Now > Max && !MaxInCritical.compare_exchange_weak(Max, Now))
+          ;
+        ReadersDuringWrite += ActiveReaders.load();
+        --InCritical;
+        RW->endWrite();
+      }
+    });
+  }
+  for (int R = 0; R != 3; ++R) {
+    Pool.emplace_back([&] {
+      for (int I = 0; I != 100; ++I) {
+        RW->startRead();
+        ++ActiveReaders;
+        --ActiveReaders;
+        RW->endRead();
+      }
+    });
+  }
+  for (auto &T : Pool)
+    T.join();
+  EXPECT_EQ(MaxInCritical.load(), 1); // Never two writers at once.
+  EXPECT_EQ(ReadersDuringWrite.load(), 0);
+}
+
+TEST_P(ReadersWritersTest, ReadersOverlap) {
+  auto RW = makeReadersWriters(GetParam());
+  std::atomic<int> Concurrent{0}, Peak{0};
+  constexpr int Readers = 6;
+  std::vector<std::thread> Pool;
+  for (int R = 0; R != Readers; ++R) {
+    Pool.emplace_back([&] {
+      RW->startRead();
+      int Now = ++Concurrent;
+      int Max = Peak.load();
+      while (Now > Max && !Peak.compare_exchange_weak(Max, Now))
+        ;
+      // Hold the read briefly so others can pile in.
+      std::this_thread::sleep_for(std::chrono::milliseconds(30));
+      --Concurrent;
+      RW->endRead();
+    });
+  }
+  for (auto &T : Pool)
+    T.join();
+  EXPECT_GT(Peak.load(), 1); // At least two readers ran concurrently.
+}
+
+TEST_P(ReadersWritersTest, WriterBlocksWhileReadersActive) {
+  auto RW = makeReadersWriters(GetParam());
+  RW->startRead();
+  std::atomic<bool> WriteDone{false};
+  std::thread W([&] {
+    RW->startWrite();
+    WriteDone = true;
+    RW->endWrite();
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_FALSE(WriteDone.load());
+  RW->endRead();
+  W.join();
+  EXPECT_TRUE(WriteDone.load());
+}
+
+TEST_P(ReadersWritersTest, ArrivalOrderFairness) {
+  // A waiting writer must not be starved by later readers: reader1 holds,
+  // writer queues, reader2 arrives later — in the ticketed discipline
+  // reader2 cannot pass the queued writer.
+  auto RW = makeReadersWriters(GetParam());
+  RW->startRead();
+
+  std::atomic<bool> WriterIn{false}, Reader2In{false};
+  std::thread W([&] {
+    RW->startWrite();
+    WriterIn = true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    RW->endWrite();
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  std::thread R2([&] {
+    RW->startRead();
+    Reader2In = true;
+    RW->endRead();
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_FALSE(WriterIn.load());  // Reader1 still holds.
+  EXPECT_FALSE(Reader2In.load()); // Queued behind the writer.
+  RW->endRead();
+  W.join();
+  R2.join();
+  EXPECT_TRUE(WriterIn.load());
+  EXPECT_TRUE(Reader2In.load());
+}
+
+TEST_P(ReadersWritersTest, PaperWorkloadShape) {
+  // The paper's 1:5 writer:reader mix (Fig. 12), scaled down.
+  auto RW = makeReadersWriters(GetParam());
+  constexpr int Writers = 2, Readers = 10, Ops = 50;
+  std::vector<std::thread> Pool;
+  for (int W = 0; W != Writers; ++W) {
+    Pool.emplace_back([&] {
+      for (int I = 0; I != Ops; ++I) {
+        RW->startWrite();
+        RW->endWrite();
+      }
+    });
+  }
+  for (int R = 0; R != Readers; ++R) {
+    Pool.emplace_back([&] {
+      for (int I = 0; I != Ops; ++I) {
+        RW->startRead();
+        RW->endRead();
+      }
+    });
+  }
+  for (auto &T : Pool)
+    T.join();
+  EXPECT_EQ(RW->writes(), Writers * Ops);
+  EXPECT_EQ(RW->reads(), Readers * Ops);
+}
+
+} // namespace

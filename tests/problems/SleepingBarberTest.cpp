@@ -1,0 +1,126 @@
+//===- tests/problems/SleepingBarberTest.cpp - Barber tests -----------------===//
+//
+// Part of AutoSynch-C++, a reproduction of "AutoSynch: An Automatic-Signal
+// Monitor Based on Predicate Tagging" (Hung & Garg, PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ProblemTestUtil.h"
+#include "problems/SleepingBarber.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+using namespace autosynch;
+
+namespace {
+
+class SleepingBarberTest : public ::testing::TestWithParam<Mechanism> {};
+
+INSTANTIATE_TEST_SUITE_P(Mechanisms, SleepingBarberTest,
+                         testutil::allMechanisms(),
+                         testutil::mechanismTestName);
+
+TEST_P(SleepingBarberTest, OneCustomerOneCut) {
+  auto Shop = makeSleepingBarber(GetParam(), 4);
+  std::thread Customer([&] { EXPECT_TRUE(Shop->getHaircut()); });
+  Shop->cutHair();
+  Customer.join();
+  EXPECT_EQ(Shop->haircuts(), 1);
+}
+
+TEST_P(SleepingBarberTest, BarberSleepsUntilCustomerArrives) {
+  auto Shop = makeSleepingBarber(GetParam(), 4);
+  std::atomic<bool> CutDone{false};
+  std::thread Barber([&] {
+    Shop->cutHair(); // Sleeps: no customer yet.
+    CutDone = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(CutDone.load());
+  std::thread Customer([&] { EXPECT_TRUE(Shop->getHaircut()); });
+  Barber.join();
+  Customer.join();
+  EXPECT_TRUE(CutDone.load());
+}
+
+TEST_P(SleepingBarberTest, AllWaitingCustomersEventuallyServed) {
+  auto Shop = makeSleepingBarber(GetParam(), 8);
+  constexpr int Customers = 8;
+  std::vector<std::thread> Pool;
+  std::atomic<int> Served{0};
+  for (int I = 0; I != Customers; ++I) {
+    Pool.emplace_back([&] {
+      if (Shop->getHaircut())
+        ++Served;
+    });
+  }
+  std::thread Barber([&] {
+    for (int I = 0; I != Customers; ++I)
+      Shop->cutHair();
+  });
+  for (auto &T : Pool)
+    T.join();
+  Barber.join();
+  EXPECT_EQ(Served.load(), Customers); // 8 chairs: nobody balks.
+  EXPECT_EQ(Shop->haircuts(), Customers);
+}
+
+TEST_P(SleepingBarberTest, CustomersBalkWhenChairsFull) {
+  // 1 chair, no barber activity: whichever of two customers sits first
+  // occupies the only chair, so the other must leave — regardless of
+  // scheduling order.
+  auto Shop = makeSleepingBarber(GetParam(), 1);
+  std::atomic<int> Served{0}, Balked{0};
+  auto Customer = [&] {
+    if (Shop->getHaircut())
+      ++Served;
+    else
+      ++Balked;
+  };
+  std::thread C1(Customer);
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  std::thread C2(Customer);
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  Shop->cutHair(); // Serve the seated customer.
+  C1.join();
+  C2.join();
+  EXPECT_EQ(Served.load(), 1);
+  EXPECT_EQ(Balked.load(), 1);
+  EXPECT_EQ(Shop->haircuts(), 1);
+}
+
+TEST_P(SleepingBarberTest, SaturationRoundTrip) {
+  auto Shop = makeSleepingBarber(GetParam(), 4);
+  constexpr int Customers = 4;
+  constexpr int CutsPerCustomer = 100;
+  std::atomic<int64_t> TotalCuts{0};
+
+  std::vector<std::thread> Pool;
+  for (int I = 0; I != Customers; ++I) {
+    Pool.emplace_back([&] {
+      for (int Done = 0; Done != CutsPerCustomer;) {
+        if (Shop->getHaircut()) {
+          ++Done;
+          ++TotalCuts;
+        } else {
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+  std::thread Barber([&] {
+    for (int I = 0; I != Customers * CutsPerCustomer; ++I)
+      Shop->cutHair();
+  });
+  for (auto &T : Pool)
+    T.join();
+  Barber.join();
+  EXPECT_EQ(TotalCuts.load(), Customers * CutsPerCustomer);
+  EXPECT_EQ(Shop->haircuts(), Customers * CutsPerCustomer);
+}
+
+} // namespace

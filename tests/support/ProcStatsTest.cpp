@@ -1,0 +1,44 @@
+//===- tests/support/ProcStatsTest.cpp - Context-switch counter tests ------===//
+//
+// Part of AutoSynch-C++, a reproduction of "AutoSynch: An Automatic-Signal
+// Monitor Based on Predicate Tagging" (Hung & Garg, PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ProcStats.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+using namespace autosynch;
+
+TEST(ProcStatsTest, CountersAreMonotonic) {
+  ContextSwitches A = readContextSwitches();
+  // Voluntary switches: sleep forces at least one.
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  ContextSwitches B = readContextSwitches();
+  EXPECT_GE(B.Voluntary, A.Voluntary);
+  EXPECT_GE(B.Involuntary, A.Involuntary);
+  EXPECT_GE(B.total(), A.total());
+}
+
+TEST(ProcStatsTest, SleepNeverDecreasesCounters) {
+  // Some sandboxed kernels report zero for ru_nvcsw; the counters must
+  // still be readable and monotonic (Fig. 15 falls back to the sync-layer
+  // event counters when the OS reports nothing).
+  ContextSwitches A = readContextSwitches();
+  for (int I = 0; I != 5; ++I)
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  ContextSwitches B = readContextSwitches();
+  EXPECT_GE(B.Voluntary, A.Voluntary);
+  EXPECT_GE(B.total(), A.total());
+}
+
+TEST(ProcStatsTest, DifferenceOperator) {
+  ContextSwitches A{10, 5}, B{25, 9};
+  ContextSwitches D = B - A;
+  EXPECT_EQ(D.Voluntary, 15u);
+  EXPECT_EQ(D.Involuntary, 4u);
+  EXPECT_EQ(D.total(), 19u);
+}

@@ -1,0 +1,72 @@
+//===- tests/support/RngTest.cpp - RNG tests --------------------------------===//
+//
+// Part of AutoSynch-C++, a reproduction of "AutoSynch: An Automatic-Signal
+// Monitor Based on Predicate Tagging" (Hung & Garg, PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace autosynch;
+
+TEST(RngTest, DeterministicFromSeed) {
+  Rng A(42), B(42);
+  for (int I = 0; I != 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng A(1), B(2);
+  int Same = 0;
+  for (int I = 0; I != 100; ++I)
+    Same += A.next() == B.next();
+  EXPECT_LT(Same, 5);
+}
+
+TEST(RngTest, RangeIsInclusive) {
+  Rng R(7);
+  std::set<int64_t> Seen;
+  for (int I = 0; I != 2000; ++I) {
+    int64_t V = R.range(1, 6);
+    ASSERT_GE(V, 1);
+    ASSERT_LE(V, 6);
+    Seen.insert(V);
+  }
+  EXPECT_EQ(Seen.size(), 6u); // Every face of the die appears.
+}
+
+TEST(RngTest, RangeSingleton) {
+  Rng R(9);
+  for (int I = 0; I != 10; ++I)
+    EXPECT_EQ(R.range(5, 5), 5);
+}
+
+TEST(RngTest, RangeNegativeBounds) {
+  Rng R(11);
+  for (int I = 0; I != 1000; ++I) {
+    int64_t V = R.range(-8, -3);
+    ASSERT_GE(V, -8);
+    ASSERT_LE(V, -3);
+  }
+}
+
+TEST(RngTest, ChanceExtremes) {
+  Rng R(13);
+  for (int I = 0; I != 100; ++I) {
+    EXPECT_TRUE(R.chance(1, 1));
+    EXPECT_FALSE(R.chance(0, 1));
+  }
+}
+
+TEST(RngTest, ChanceRoughlyFair) {
+  Rng R(17);
+  int Hits = 0;
+  for (int I = 0; I != 10000; ++I)
+    Hits += R.chance(1, 2);
+  EXPECT_GT(Hits, 4500);
+  EXPECT_LT(Hits, 5500);
+}

@@ -1,0 +1,69 @@
+//===- tests/support/StatsTest.cpp - Run statistics tests ------------------===//
+//
+// Part of AutoSynch-C++, a reproduction of "AutoSynch: An Automatic-Signal
+// Monitor Based on Predicate Tagging" (Hung & Garg, PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Stats.h"
+
+#include <gtest/gtest.h>
+
+using namespace autosynch;
+
+TEST(StatsTest, SingleSampleIsItsOwnMean) {
+  RunSummary S = summarizeRuns({3.5});
+  EXPECT_DOUBLE_EQ(S.Mean, 3.5);
+  EXPECT_DOUBLE_EQ(S.Min, 3.5);
+  EXPECT_DOUBLE_EQ(S.Max, 3.5);
+  EXPECT_EQ(S.Retained, 1);
+  EXPECT_DOUBLE_EQ(S.StdDev, 0.0);
+}
+
+TEST(StatsTest, TwoSamplesNothingDropped) {
+  RunSummary S = summarizeRuns({1.0, 3.0});
+  EXPECT_DOUBLE_EQ(S.Mean, 2.0);
+  EXPECT_EQ(S.Retained, 2);
+}
+
+TEST(StatsTest, DropsBestAndWorst) {
+  // Paper §6.1: remove the best and worst results, then average.
+  RunSummary S = summarizeRuns({100.0, 2.0, 3.0, 4.0, 0.001});
+  EXPECT_DOUBLE_EQ(S.Mean, 3.0);
+  EXPECT_EQ(S.Retained, 3);
+  EXPECT_DOUBLE_EQ(S.Min, 0.001);
+  EXPECT_DOUBLE_EQ(S.Max, 100.0);
+}
+
+TEST(StatsTest, OutliersDoNotSkewMean) {
+  std::vector<double> Samples(25, 10.0);
+  Samples[0] = 1000.0; // One pathological run.
+  Samples[1] = 0.0;    // One suspiciously fast run.
+  RunSummary S = summarizeRuns(Samples);
+  EXPECT_DOUBLE_EQ(S.Mean, 10.0);
+  EXPECT_EQ(S.Retained, 23);
+}
+
+TEST(StatsTest, StdDevOfConstantSamplesIsZero) {
+  RunSummary S = summarizeRuns({5.0, 5.0, 5.0, 5.0});
+  EXPECT_DOUBLE_EQ(S.StdDev, 0.0);
+}
+
+TEST(StatsTest, StopwatchAdvances) {
+  Stopwatch W;
+  volatile double Sink = 0;
+  for (int I = 0; I != 100000; ++I)
+    Sink = Sink + I;
+  EXPECT_GT(W.nanos(), 0u);
+  EXPECT_GE(W.seconds(), 0.0);
+}
+
+TEST(StatsTest, StopwatchRestartResets) {
+  Stopwatch W;
+  volatile double Sink = 0;
+  for (int I = 0; I != 100000; ++I)
+    Sink = Sink + I;
+  uint64_t First = W.nanos();
+  W.restart();
+  EXPECT_LE(W.nanos(), First + 1000000); // Fresh epoch, allow 1ms slack.
+}

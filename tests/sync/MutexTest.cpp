@@ -1,0 +1,222 @@
+//===- tests/sync/MutexTest.cpp - Lock/Condition substrate tests -----------===//
+//
+// Part of AutoSynch-C++, a reproduction of "AutoSynch: An Automatic-Signal
+// Monitor Based on Predicate Tagging" (Hung & Garg, PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+//
+// Parameterized over both backends (std and futex): mutual exclusion under
+// contention, condition signal/signalAll semantics, and the instrumentation
+// counters.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sync/Counters.h"
+#include "sync/Mutex.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+using namespace autosynch;
+using namespace autosynch::sync;
+
+class MutexTest : public ::testing::TestWithParam<Backend> {};
+
+INSTANTIATE_TEST_SUITE_P(Backends, MutexTest,
+                         ::testing::Values(Backend::Std, Backend::Futex),
+                         [](const auto &Info) {
+                           return std::string(backendName(Info.param));
+                         });
+
+TEST_P(MutexTest, LockUnlockSingleThread) {
+  Mutex M(GetParam());
+  M.lock();
+  M.unlock();
+  M.lock();
+  M.unlock();
+}
+
+TEST_P(MutexTest, TryLockReflectsState) {
+  Mutex M(GetParam());
+  EXPECT_TRUE(M.tryLock());
+  std::thread([&] { EXPECT_FALSE(M.tryLock()); }).join();
+  M.unlock();
+  EXPECT_TRUE(M.tryLock());
+  M.unlock();
+}
+
+TEST_P(MutexTest, MutualExclusionUnderContention) {
+  Mutex M(GetParam());
+  int64_t Counter = 0;
+  constexpr int Threads = 8;
+  constexpr int64_t Iters = 20000;
+
+  std::vector<std::thread> Pool;
+  for (int T = 0; T != Threads; ++T) {
+    Pool.emplace_back([&] {
+      for (int64_t I = 0; I != Iters; ++I) {
+        M.lock();
+        ++Counter; // Data race unless the lock excludes.
+        M.unlock();
+      }
+    });
+  }
+  for (auto &T : Pool)
+    T.join();
+  EXPECT_EQ(Counter, Threads * Iters);
+}
+
+TEST_P(MutexTest, ConditionSignalWakesOneWaiter) {
+  Mutex M(GetParam());
+  auto C = M.newCondition();
+  bool Ready = false;
+
+  std::thread Waiter([&] {
+    M.lock();
+    while (!Ready)
+      C->await();
+    M.unlock();
+  });
+
+  // Let the waiter block, then release it.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  M.lock();
+  Ready = true;
+  C->signal();
+  M.unlock();
+  Waiter.join();
+}
+
+TEST_P(MutexTest, SignalAllWakesEveryWaiter) {
+  Mutex M(GetParam());
+  auto C = M.newCondition();
+  bool Ready = false;
+  int Woken = 0;
+  constexpr int Waiters = 6;
+
+  std::vector<std::thread> Pool;
+  for (int T = 0; T != Waiters; ++T) {
+    Pool.emplace_back([&] {
+      M.lock();
+      while (!Ready)
+        C->await();
+      ++Woken;
+      M.unlock();
+    });
+  }
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  M.lock();
+  Ready = true;
+  C->signalAll();
+  M.unlock();
+  for (auto &T : Pool)
+    T.join();
+  EXPECT_EQ(Woken, Waiters);
+}
+
+TEST_P(MutexTest, SignalBeforeAnyWaiterIsNotRemembered) {
+  // A condition variable is not a semaphore: a signal with no waiter is
+  // lost, and the waiter relies on its predicate re-check.
+  Mutex M(GetParam());
+  auto C = M.newCondition();
+  M.lock();
+  C->signal(); // No waiter: must not break anything.
+  M.unlock();
+
+  bool Ready = false;
+  std::thread Waiter([&] {
+    M.lock();
+    while (!Ready)
+      C->await();
+    M.unlock();
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  M.lock();
+  Ready = true;
+  C->signal();
+  M.unlock();
+  Waiter.join();
+}
+
+TEST_P(MutexTest, ProducerConsumerHandoffStress) {
+  // Two conditions on one mutex, as the monitors use them.
+  Mutex M(GetParam());
+  auto NotEmpty = M.newCondition();
+  auto NotFull = M.newCondition();
+  int64_t Buffer = 0; // 0 = empty, 1 = full.
+  int64_t Produced = 0, Consumed = 0;
+  constexpr int64_t Total = 20000;
+
+  std::thread Producer([&] {
+    for (int64_t I = 0; I != Total; ++I) {
+      M.lock();
+      while (Buffer == 1)
+        NotFull->await();
+      Buffer = 1;
+      ++Produced;
+      NotEmpty->signal();
+      M.unlock();
+    }
+  });
+  std::thread Consumer([&] {
+    for (int64_t I = 0; I != Total; ++I) {
+      M.lock();
+      while (Buffer == 0)
+        NotEmpty->await();
+      Buffer = 0;
+      ++Consumed;
+      NotFull->signal();
+      M.unlock();
+    }
+  });
+  Producer.join();
+  Consumer.join();
+  EXPECT_EQ(Produced, Total);
+  EXPECT_EQ(Consumed, Total);
+  EXPECT_EQ(Buffer, 0);
+}
+
+TEST_P(MutexTest, PerConditionCountersTrackCalls) {
+  Mutex M(GetParam());
+  auto C = M.newCondition();
+  EXPECT_EQ(C->awaitCount(), 0u);
+  EXPECT_EQ(C->signalCount(), 0u);
+  EXPECT_EQ(C->signalAllCount(), 0u);
+
+  M.lock();
+  C->signal();
+  C->signal();
+  C->signalAll();
+  M.unlock();
+  EXPECT_EQ(C->signalCount(), 2u);
+  EXPECT_EQ(C->signalAllCount(), 1u);
+}
+
+TEST_P(MutexTest, GlobalCountersAccumulate) {
+  Counters &G = Counters::global();
+  CountersSnapshot Before = G.snapshot();
+
+  Mutex M(GetParam());
+  auto C = M.newCondition();
+  bool Ready = false;
+  std::thread Waiter([&] {
+    M.lock();
+    while (!Ready)
+      C->await();
+    M.unlock();
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  M.lock();
+  Ready = true;
+  C->signal();
+  M.unlock();
+  Waiter.join();
+
+  CountersSnapshot Delta = G.snapshot() - Before;
+  EXPECT_GE(Delta.Awaits, 1u);
+  EXPECT_GE(Delta.Signals, 1u);
+  EXPECT_GE(Delta.Wakeups, 1u);
+}

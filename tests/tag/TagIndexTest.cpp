@@ -1,0 +1,230 @@
+//===- tests/tag/TagIndexTest.cpp - Fig. 7 index tests ----------------------===//
+//
+// Part of AutoSynch-C++, a reproduction of "AutoSynch: An Automatic-Signal
+// Monitor Based on Predicate Tagging" (Hung & Garg, PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+#include "expr/Eval.h"
+#include "parse/PredicateParser.h"
+#include "tag/TagIndex.h"
+
+#include <gtest/gtest.h>
+
+using namespace autosynch;
+using testutil::Vars;
+
+namespace {
+
+/// A registered predicate with its derived tags, as the condition manager
+/// would hold it.
+struct StubRecord {
+  ExprRef Pred = nullptr;
+  std::vector<Tag> Tags;
+};
+
+class TagIndexTest : public ::testing::Test {
+protected:
+  Vars V;
+  ExprArena A;
+  TagIndex<StubRecord> Index;
+  std::vector<std::unique_ptr<StubRecord>> Records;
+
+  StubRecord *addPredicate(std::string_view Src) {
+    PredicateParseResult R = parsePredicate(Src, A, V.Syms);
+    EXPECT_TRUE(R.ok()) << Src << ": " << R.Error.toString();
+    CanonicalPredicate CP = canonicalizePredicate(A, R.Expr);
+    auto Rec = std::make_unique<StubRecord>();
+    Rec->Pred = CP.Expr;
+    Rec->Tags = deriveTags(A, CP.D, V.Syms);
+    for (const Tag &T : Rec->Tags)
+      Index.add(T, Rec.get());
+    Records.push_back(std::move(Rec));
+    return Records.back().get();
+  }
+
+  void removeRecord(StubRecord *R) {
+    for (const Tag &T : R->Tags)
+      Index.remove(T, R);
+  }
+
+  StubRecord *find(const Env &State, TagSearchStats *Stats = nullptr) {
+    return Index.findTrue(
+        [&](ExprRef E) { return eval(E, State).raw(); },
+        [&](StubRecord *R) { return evalBool(R->Pred, State); }, Stats);
+  }
+
+  MapEnv state(int64_t X, int64_t Y = 0, int64_t Z = 0, bool Flag = false) {
+    MapEnv E;
+    E.bindInt(V.X, X).bindInt(V.Y, Y).bindInt(V.Z, Z).bindBool(V.Flag,
+                                                               Flag);
+    return E;
+  }
+};
+
+TEST_F(TagIndexTest, EmptyIndexFindsNothing) {
+  EXPECT_TRUE(Index.empty());
+  EXPECT_EQ(find(state(5)), nullptr);
+}
+
+TEST_F(TagIndexTest, EquivalenceHashHitInOneLookup) {
+  addPredicate("x == 3");
+  addPredicate("x == 6");
+  StubRecord *R8 = addPredicate("x == 8");
+  TagSearchStats Stats;
+  EXPECT_EQ(find(state(8), &Stats), R8);
+  // Paper §4.3.2: one shared-expression evaluation, one hash probe, one
+  // predicate check — regardless of how many equivalence tags exist.
+  EXPECT_EQ(Stats.SharedExprEvals, 1u);
+  EXPECT_EQ(Stats.EqLookups, 1u);
+  EXPECT_EQ(Stats.PredicateChecks, 1u);
+}
+
+TEST_F(TagIndexTest, EquivalenceMissFallsThroughToThresholds) {
+  addPredicate("x == 3");
+  StubRecord *Ge = addPredicate("x >= 5");
+  EXPECT_EQ(find(state(7)), Ge);
+}
+
+TEST_F(TagIndexTest, ThresholdHeapsSearchBothDirections) {
+  StubRecord *Low = addPredicate("x >= 5");
+  StubRecord *High = addPredicate("x <= -5");
+  EXPECT_EQ(find(state(10)), Low);
+  EXPECT_EQ(find(state(-10)), High);
+  EXPECT_EQ(find(state(0)), nullptr);
+}
+
+TEST_F(TagIndexTest, NoneListScannedLast) {
+  StubRecord *Ne = addPredicate("x != 9"); // None tag.
+  TagSearchStats Stats;
+  EXPECT_EQ(find(state(5), &Stats), Ne);
+  EXPECT_EQ(Stats.NoneScans, 1u);
+  EXPECT_EQ(find(state(9)), nullptr);
+}
+
+TEST_F(TagIndexTest, PaperFigure7Scenario) {
+  // The predicates of the paper's Fig. 7 condition-manager example (the
+  // subset over x), evaluated at several states.
+  addPredicate("x == 3");
+  StubRecord *X6 = addPredicate("x == 6");
+  addPredicate("x == 7");
+  StubRecord *Gt5 = addPredicate("x > 5");
+  StubRecord *Ge5 = addPredicate("x >= 5");
+  addPredicate("x < 3");
+  StubRecord *Le3 = addPredicate("x <= 3");
+  StubRecord *Ne9 = addPredicate("x != 9");
+
+  // x = 6: the equivalence bucket for 6 wins before any threshold work.
+  TagSearchStats Stats;
+  EXPECT_EQ(find(state(6), &Stats), X6);
+  EXPECT_EQ(Stats.EqLookups, 1u);
+  EXPECT_EQ(Stats.PredicateChecks, 1u);
+
+  // x = 9: no equivalence bucket; the lower-bound heap finds x > 5 or
+  // x >= 5 (either is correct — both are true).
+  StubRecord *AtNine = find(state(9));
+  EXPECT_TRUE(AtNine == Gt5 || AtNine == Ge5);
+
+  // x = 2: upper-bound heap root is the largest key, (3, <=), whose
+  // record is true.
+  EXPECT_EQ(find(state(2)), Le3);
+
+  // Remove every taggable predicate: only x != 9 remains reachable.
+  for (auto &R : Records)
+    if (R.get() != Ne9)
+      removeRecord(R.get());
+  EXPECT_EQ(find(state(9)), nullptr); // x != 9 is false at 9.
+  EXPECT_EQ(find(state(4)), Ne9);
+}
+
+TEST_F(TagIndexTest, MultiplePredicatesShareEquivalenceBucket) {
+  // Paper §4.3.1: (x == 5 && z <= 4) and (x == 5 && y >= 4) share the
+  // equivalence tag (x, 5).
+  StubRecord *P1 = addPredicate("x == 5 && z <= 4");
+  StubRecord *P2 = addPredicate("x == 5 && y >= 4");
+  EXPECT_EQ(Index.numSharedExprs(), 1u);
+  EXPECT_EQ(find(state(5, /*Y=*/9, /*Z=*/9)), P2);
+  EXPECT_EQ(find(state(5, /*Y=*/0, /*Z=*/0)), P1);
+  EXPECT_EQ(find(state(5, /*Y=*/0, /*Z=*/9)), nullptr);
+}
+
+TEST_F(TagIndexTest, MultipleSharedExpressions) {
+  StubRecord *OnX = addPredicate("x >= 5");
+  StubRecord *OnSum = addPredicate("x + y >= 100");
+  EXPECT_EQ(Index.numSharedExprs(), 2u);
+  EXPECT_EQ(find(state(6, 0)), OnX);
+  EXPECT_EQ(find(state(0, 100)), OnSum);
+}
+
+TEST_F(TagIndexTest, BoolEquivalenceTags) {
+  StubRecord *WhenSet = addPredicate("flag");
+  StubRecord *WhenClear = addPredicate("!flag");
+  EXPECT_EQ(find(state(0, 0, 0, true)), WhenSet);
+  EXPECT_EQ(find(state(0, 0, 0, false)), WhenClear);
+}
+
+TEST_F(TagIndexTest, RemoveEmptiesIndex) {
+  StubRecord *R1 = addPredicate("x == 3");
+  StubRecord *R2 = addPredicate("x >= 5");
+  StubRecord *R3 = addPredicate("x != 9");
+  removeRecord(R1);
+  removeRecord(R2);
+  removeRecord(R3);
+  EXPECT_TRUE(Index.empty());
+  EXPECT_EQ(find(state(3)), nullptr);
+}
+
+TEST_F(TagIndexTest, DoubleAddToNoneListIsFatal) {
+  StubRecord *R = addPredicate("x != 9");
+  EXPECT_DEATH(Index.add(R->Tags.front(), R), "already in the None list");
+}
+
+TEST_F(TagIndexTest, RandomizedSoundnessAndCompleteness) {
+  // The relay-invariance-critical property: findTrue returns a record iff
+  // some registered predicate is true, and the returned record's predicate
+  // is true. (Which record is unspecified.)
+  Rng R(77);
+  const char *Pool[] = {
+      "x == 0",        "x == 3",      "x == -4",     "x >= 2",
+      "x >= 7",        "x > -3",      "x <= -2",     "x < 5",
+      "x != 1",        "x != -6",     "x + y >= 4",  "x - y <= -3",
+      "y == 2",        "y >= 3",      "flag",        "!flag",
+      "x == 2 && y >= 1", "x >= 1 && y <= -1", "x * y >= 2",
+      "x % 3 == 0"};
+
+  for (int Round = 0; Round != 30; ++Round) {
+    TagIndex<StubRecord> LocalIndex;
+    std::vector<std::unique_ptr<StubRecord>> LocalRecords;
+    for (const char *Src : Pool) {
+      if (!R.chance(2, 3))
+        continue;
+      PredicateParseResult PR = parsePredicate(Src, A, V.Syms);
+      ASSERT_TRUE(PR.ok()) << Src;
+      CanonicalPredicate CP = canonicalizePredicate(A, PR.Expr);
+      auto Rec = std::make_unique<StubRecord>();
+      Rec->Pred = CP.Expr;
+      Rec->Tags = deriveTags(A, CP.D, V.Syms);
+      for (const Tag &T : Rec->Tags)
+        LocalIndex.add(T, Rec.get());
+      LocalRecords.push_back(std::move(Rec));
+    }
+
+    for (int Probe = 0; Probe != 40; ++Probe) {
+      MapEnv State = state(R.range(-8, 8), R.range(-8, 8), R.range(-8, 8),
+                           R.chance(1, 2));
+      bool OracleHasTrue = false;
+      for (auto &Rec : LocalRecords)
+        OracleHasTrue |= evalBool(Rec->Pred, State);
+      StubRecord *Found = LocalIndex.findTrue(
+          [&](ExprRef E) { return eval(E, State).raw(); },
+          [&](StubRecord *Rec) { return evalBool(Rec->Pred, State); });
+      ASSERT_EQ(Found != nullptr, OracleHasTrue) << "round " << Round;
+      if (Found) {
+        ASSERT_TRUE(evalBool(Found->Pred, State));
+      }
+    }
+  }
+}
+
+} // namespace

@@ -1,0 +1,158 @@
+//===- tests/tag/TagTest.cpp - Tag derivation tests (paper Fig. 3) ----------===//
+//
+// Part of AutoSynch-C++, a reproduction of "AutoSynch: An Automatic-Signal
+// Monitor Based on Predicate Tagging" (Hung & Garg, PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+#include "dnf/Dnf.h"
+#include "expr/Printer.h"
+#include "expr/Subst.h"
+#include "parse/PredicateParser.h"
+#include "tag/Tag.h"
+
+#include <gtest/gtest.h>
+
+using namespace autosynch;
+using testutil::Vars;
+
+namespace {
+
+class TagTest : public ::testing::Test {
+protected:
+  Vars V;
+  ExprArena A;
+
+  /// Parses, globalizes nothing (shared-only sources), canonicalizes, and
+  /// derives the tag of the first conjunction.
+  Tag tagOf(std::string_view Src) {
+    PredicateParseResult R = parsePredicate(Src, A, V.Syms);
+    EXPECT_TRUE(R.ok()) << Src << ": " << R.Error.toString();
+    CanonicalPredicate CP = canonicalizePredicate(A, R.Expr);
+    EXPECT_FALSE(CP.D.Conjs.empty()) << Src;
+    return deriveTag(A, CP.D.Conjs.front(), V.Syms);
+  }
+};
+
+TEST_F(TagTest, EquivalencePredicate) {
+  // Paper Def. 6: SE == LE (globalized) gets an Equivalence tag.
+  Tag T = tagOf("x == 8");
+  EXPECT_EQ(T.Kind, TagKind::Equivalence);
+  EXPECT_EQ(T.Key, 8);
+  EXPECT_EQ(printExpr(T.SharedExpr, V.Syms), "x");
+}
+
+TEST_F(TagTest, ThresholdPredicate) {
+  Tag T = tagOf("x >= 5");
+  EXPECT_EQ(T.Kind, TagKind::Threshold);
+  EXPECT_EQ(T.Key, 5);
+  EXPECT_EQ(T.Op, ExprKind::Ge);
+}
+
+TEST_F(TagTest, StrictThresholdCanonicalizesFirst) {
+  // x > 5 canonicalizes to x >= 6 before tagging.
+  Tag T = tagOf("x > 5");
+  EXPECT_EQ(T.Kind, TagKind::Threshold);
+  EXPECT_EQ(T.Key, 6);
+  EXPECT_EQ(T.Op, ExprKind::Ge);
+}
+
+TEST_F(TagTest, EquivalenceBeatsThreshold) {
+  // Paper Fig. 3: an equivalence atom wins over a threshold atom in the
+  // same conjunction, whatever the order.
+  for (const char *Src : {"x == 8 && y >= 3", "y >= 3 && x == 8"}) {
+    Tag T = tagOf(Src);
+    EXPECT_EQ(T.Kind, TagKind::Equivalence) << Src;
+    EXPECT_EQ(T.Key, 8) << Src;
+  }
+}
+
+TEST_F(TagTest, DisequalityIsNone) {
+  // != is neither an equivalence nor a threshold (paper Defs. 6-7).
+  EXPECT_EQ(tagOf("x != 9").Kind, TagKind::None);
+}
+
+TEST_F(TagTest, NonLinearIsNone) {
+  EXPECT_EQ(tagOf("x * y >= 3").Kind, TagKind::None);
+}
+
+TEST_F(TagTest, ThresholdWithNeAtomStillThreshold) {
+  // The paper's example P1: (x >= 5) && (y != 1) has tag (Threshold,x,5,>=).
+  Tag T = tagOf("x >= 5 && y != 1");
+  EXPECT_EQ(T.Kind, TagKind::Threshold);
+  EXPECT_EQ(T.Key, 5);
+  EXPECT_EQ(printExpr(T.SharedExpr, V.Syms), "x");
+}
+
+TEST_F(TagTest, PaperCompositeExample) {
+  // §4.3: x + b > 2y + a with a=11, b=2 becomes the tag
+  // (Threshold, x - 2y, 9, >) — inclusive form (.., 10, >=) here.
+  MapEnv Locals;
+  Locals.bindInt(V.A, 11).bindInt(V.B, 2);
+  PredicateParseResult R =
+      parsePredicate("x + b > 2 * y + a", A, V.Syms);
+  ASSERT_TRUE(R.ok());
+  ExprRef G = globalize(A, R.Expr, V.Syms, Locals);
+  CanonicalPredicate CP = canonicalizePredicate(A, G);
+  Tag T = deriveTag(A, CP.D.Conjs.front(), V.Syms);
+  EXPECT_EQ(T.Kind, TagKind::Threshold);
+  EXPECT_EQ(T.Key, 10);
+  EXPECT_EQ(T.Op, ExprKind::Ge);
+  EXPECT_EQ(printExpr(T.SharedExpr, V.Syms), "x + -2 * y");
+}
+
+TEST_F(TagTest, BoolSharedVarIsEquivalence) {
+  Tag T = tagOf("flag");
+  EXPECT_EQ(T.Kind, TagKind::Equivalence);
+  EXPECT_EQ(T.Key, 1);
+  EXPECT_EQ(printExpr(T.SharedExpr, V.Syms), "flag");
+
+  Tag N = tagOf("!flag");
+  EXPECT_EQ(N.Kind, TagKind::Equivalence);
+  EXPECT_EQ(N.Key, 0);
+}
+
+TEST_F(TagTest, LocalVariableAtomIsNotTaggable) {
+  // Without globalization, a local-mentioning atom cannot be evaluated by
+  // other threads; derivation refuses to tag it (defensive path).
+  PredicateParseResult R = parsePredicate("x >= a", A, V.Syms);
+  ASSERT_TRUE(R.ok());
+  Dnf D = toDnf(A, R.Expr);
+  Tag T = deriveTag(A, D.Conjs.front(), V.Syms);
+  EXPECT_EQ(T.Kind, TagKind::None);
+}
+
+TEST_F(TagTest, SharedExpressionsInternAcrossTags) {
+  // Distinct predicates over the same shared expression produce tags with
+  // the same SharedExpr pointer — the per-expression index relies on it.
+  Tag T1 = tagOf("x == 3");
+  Tag T2 = tagOf("x == 6");
+  Tag T3 = tagOf("x >= 5");
+  EXPECT_EQ(T1.SharedExpr, T2.SharedExpr);
+  EXPECT_EQ(T1.SharedExpr, T3.SharedExpr);
+}
+
+TEST_F(TagTest, DeriveTagsDeduplicates) {
+  // Paper §4.3.1: "multiple predicates with a shared conjunct may share a
+  // tag"; per predicate, identical per-conjunction tags are stored once.
+  PredicateParseResult R =
+      parsePredicate("(x == 5 && z <= 4) || (x == 5 && y >= 4)", A, V.Syms);
+  ASSERT_TRUE(R.ok());
+  CanonicalPredicate CP = canonicalizePredicate(A, R.Expr);
+  std::vector<Tag> Tags = deriveTags(A, CP.D, V.Syms);
+  ASSERT_EQ(Tags.size(), 1u); // One (Equivalence, x, 5) tag for both.
+  EXPECT_EQ(Tags[0].Kind, TagKind::Equivalence);
+  EXPECT_EQ(Tags[0].Key, 5);
+}
+
+TEST_F(TagTest, ToStringRendersPaperStyle) {
+  Tag T = tagOf("x >= 5");
+  EXPECT_EQ(T.toString(V.Syms), "(threshold, x, 5, >=)");
+  Tag E = tagOf("x == 8");
+  EXPECT_EQ(E.toString(V.Syms), "(equivalence, x, 8)");
+  Tag N = tagOf("x != 9");
+  EXPECT_EQ(N.toString(V.Syms), "(none)");
+}
+
+} // namespace

@@ -1,0 +1,202 @@
+//===- tests/tag/ThresholdHeapTest.cpp - Fig. 4 heap tests ------------------===//
+//
+// Part of AutoSynch-C++, a reproduction of "AutoSynch: An Automatic-Signal
+// Monitor Based on Predicate Tagging" (Hung & Garg, PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Rng.h"
+#include "tag/ThresholdHeap.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+using namespace autosynch;
+
+namespace {
+
+/// Stand-in for a condition-manager record: a predicate the heap search
+/// evaluates via the IsTrue callback.
+struct StubRecord {
+  int Id = 0;
+  bool Truth = false; // What IsTrue reports for this record.
+};
+
+using Heap = ThresholdHeap<StubRecord>;
+
+TEST(ThresholdHeapTest, EmptySearchFindsNothing) {
+  Heap H(Heap::Direction::LowerBound);
+  EXPECT_TRUE(H.empty());
+  EXPECT_EQ(H.search(100, [](StubRecord *) { return true; }), nullptr);
+}
+
+TEST(ThresholdHeapTest, RootFalseStopsImmediately) {
+  // Paper Fig. 4: if the root tag is false, all descendants are false.
+  Heap H(Heap::Direction::LowerBound);
+  StubRecord R5{5, true}, R7{7, true};
+  H.add(5, /*Strict=*/false, &R5); // x >= 5
+  H.add(7, /*Strict=*/true, &R7);  // x > 7
+  TagSearchStats Stats;
+  int Checks = 0;
+  EXPECT_EQ(H.search(
+                3,
+                [&](StubRecord *) {
+                  ++Checks;
+                  return true;
+                },
+                &Stats),
+            nullptr);
+  EXPECT_EQ(Checks, 0);       // x=3: root (>=5) false, nothing evaluated.
+  EXPECT_EQ(Stats.HeapVisits, 1u);
+}
+
+TEST(ThresholdHeapTest, FindsRecordUnderTrueRoot) {
+  Heap H(Heap::Direction::LowerBound);
+  StubRecord R5{5, true};
+  H.add(5, false, &R5);
+  EXPECT_EQ(H.search(9, [](StubRecord *R) { return R->Truth; }), &R5);
+}
+
+TEST(ThresholdHeapTest, PaperTemporaryRemovalExample) {
+  // §4.3.2: P1: (x >= 5 && y != 1) tag (x,5,>=); P2: (x > 7) tag (x,7,>).
+  // At x=9, y=1: P1's tag is true but P1 is false; the tag is removed
+  // temporarily, P2 is found, and the heap is restored.
+  Heap H(Heap::Direction::LowerBound);
+  StubRecord P1{1, false}; // y == 1 makes it false.
+  StubRecord P2{2, true};
+  H.add(5, false, &P1);
+  H.add(7, true, &P2);
+
+  EXPECT_EQ(H.search(9, [](StubRecord *R) { return R->Truth; }), &P2);
+  // Heap restored: the same search still starts from (5, >=).
+  EXPECT_EQ(H.search(9, [](StubRecord *R) { return R->Truth; }), &P2);
+  // And at x=3 the restored root again prunes everything.
+  int Checks = 0;
+  EXPECT_EQ(H.search(3,
+                     [&](StubRecord *) {
+                       ++Checks;
+                       return true;
+                     }),
+            nullptr);
+  EXPECT_EQ(Checks, 0);
+}
+
+TEST(ThresholdHeapTest, EqualKeyNonStrictExaminedFirst) {
+  // Paper: "(k, >=) is considered smaller than (k, >)" in the min-heap.
+  Heap H(Heap::Direction::LowerBound);
+  StubRecord Ge3{1, true}, Gt3{2, true};
+  H.add(3, true, &Gt3);
+  H.add(3, false, &Ge3);
+  // At x == 3 only (3, >=) is true; it must be reachable at the root.
+  EXPECT_EQ(H.search(3, [](StubRecord *R) { return R->Truth; }), &Ge3);
+}
+
+TEST(ThresholdHeapTest, UpperBoundDirectionMirrors) {
+  Heap H(Heap::Direction::UpperBound);
+  StubRecord Le5{1, true}, Lt3{2, true};
+  H.add(5, false, &Le5); // x <= 5
+  H.add(3, true, &Lt3);  // x < 3
+  // x=4: root is (5, <=) (largest key first); it is true.
+  EXPECT_EQ(H.search(4, [](StubRecord *R) { return R->Truth; }), &Le5);
+  // x=9: root false, nothing examined.
+  int Checks = 0;
+  EXPECT_EQ(H.search(9,
+                     [&](StubRecord *) {
+                       ++Checks;
+                       return true;
+                     }),
+            nullptr);
+  EXPECT_EQ(Checks, 0);
+}
+
+TEST(ThresholdHeapTest, UpperBoundEqualKeyTieBreak) {
+  // At x == 3, (3, <=) is true and (3, <) is false: <= must be examined
+  // first (it is "larger" in the max-heap).
+  Heap H(Heap::Direction::UpperBound);
+  StubRecord Le3{1, true}, Lt3{2, true};
+  H.add(3, true, &Lt3);
+  H.add(3, false, &Le3);
+  EXPECT_EQ(H.search(3, [](StubRecord *R) { return R->Truth; }), &Le3);
+}
+
+TEST(ThresholdHeapTest, SharedTagHoldsMultipleRecords) {
+  Heap H(Heap::Direction::LowerBound);
+  StubRecord A{1, false}, B{2, true};
+  H.add(5, false, &A);
+  H.add(5, false, &B);
+  EXPECT_EQ(H.search(6, [](StubRecord *R) { return R->Truth; }), &B);
+}
+
+TEST(ThresholdHeapTest, RemoveUnregistersRecord) {
+  Heap H(Heap::Direction::LowerBound);
+  StubRecord A{1, true};
+  H.add(5, false, &A);
+  H.remove(5, false, &A);
+  EXPECT_EQ(H.search(9, [](StubRecord *R) { return R->Truth; }), nullptr);
+}
+
+TEST(ThresholdHeapTest, RemoveUnknownIsFatal) {
+  Heap H(Heap::Direction::LowerBound);
+  StubRecord A{1, true};
+  EXPECT_DEATH(H.remove(5, false, &A), "unregistered tag");
+  H.add(5, false, &A);
+  StubRecord B{2, true};
+  EXPECT_DEATH(H.remove(5, false, &B), "unregistered record");
+}
+
+TEST(ThresholdHeapTest, EmptiedNodeRemovedEagerly) {
+  // §5.2: "A threshold tag also needs to be removed once it has no
+  // predicate."
+  Heap H(Heap::Direction::LowerBound);
+  StubRecord A{1, true}, B{2, true};
+  H.add(5, false, &A);
+  H.add(7, false, &B);
+  EXPECT_EQ(H.numNodes(), 2u);
+  H.remove(5, false, &A);
+  EXPECT_EQ(H.numNodes(), 1u);
+  EXPECT_EQ(H.search(9, [](StubRecord *R) { return R->Truth; }), &B);
+  H.remove(7, false, &B);
+  EXPECT_TRUE(H.empty());
+}
+
+TEST(ThresholdHeapTest, RandomizedAgainstBruteForceOracle) {
+  // Soundness: any returned record's tag and predicate are true.
+  // Completeness: when the oracle finds some true-tag true-record, the
+  // heap search finds one too.
+  Rng R(2024);
+  for (int Round = 0; Round != 50; ++Round) {
+    Heap H(Heap::Direction::LowerBound);
+    std::vector<std::unique_ptr<StubRecord>> Records;
+    std::vector<std::pair<int64_t, bool>> Tags;
+    int N = static_cast<int>(R.range(1, 24));
+    for (int I = 0; I != N; ++I) {
+      Records.push_back(
+          std::make_unique<StubRecord>(StubRecord{I, R.chance(1, 2)}));
+      int64_t Key = R.range(-10, 10);
+      bool Strict = R.chance(1, 2);
+      Tags.push_back({Key, Strict});
+      H.add(Key, Strict, Records.back().get());
+    }
+
+    for (int64_t X = -12; X <= 12; ++X) {
+      bool OracleHasTrue = false;
+      for (int I = 0; I != N; ++I) {
+        bool TagTrue = Tags[I].second ? X > Tags[I].first
+                                      : X >= Tags[I].first;
+        if (TagTrue && Records[I]->Truth)
+          OracleHasTrue = true;
+      }
+      StubRecord *Found =
+          H.search(X, [](StubRecord *Rec) { return Rec->Truth; });
+      ASSERT_EQ(Found != nullptr, OracleHasTrue)
+          << "round " << Round << " x=" << X;
+      if (Found) {
+        ASSERT_TRUE(Found->Truth);
+      }
+    }
+  }
+}
+
+} // namespace

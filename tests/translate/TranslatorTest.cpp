@@ -1,0 +1,302 @@
+//===- tests/translate/TranslatorTest.cpp - autosynchc tests -----------------===//
+//
+// Part of AutoSynch-C++, a reproduction of "AutoSynch: An Automatic-Signal
+// Monitor Based on Predicate Tagging" (Hung & Garg, PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "translate/Translate.h"
+
+#include <gtest/gtest.h>
+
+using namespace autosynch;
+using namespace autosynch::translate;
+
+namespace {
+
+constexpr const char *BoundedBufferSource = R"(
+monitor Buf(int capacity) {
+  shared int count = 0;
+
+  method put(int items) {
+    waituntil(count + items <= capacity);
+    count = count + items;
+  }
+
+  method take(int num) returns int {
+    waituntil(count >= num);
+    count = count - num;
+    return num;
+  }
+}
+)";
+
+std::string translateOk(std::string_view Src) {
+  TranslateResult R = translateMonitorSource(Src, "test.asynch");
+  EXPECT_TRUE(R.ok());
+  for (const ParseError &E : R.Errors)
+    ADD_FAILURE() << E.toString();
+  return R.Cpp;
+}
+
+std::string firstError(std::string_view Src) {
+  TranslateResult R = translateMonitorSource(Src, "test.asynch");
+  EXPECT_FALSE(R.ok());
+  return R.Errors.empty() ? "" : R.Errors.front().Message;
+}
+
+//===----------------------------------------------------------------------===//
+// Code generation
+//===----------------------------------------------------------------------===//
+
+TEST(TranslatorTest, GeneratesMonitorClass) {
+  std::string Cpp = translateOk(BoundedBufferSource);
+  EXPECT_NE(Cpp.find("class Buf : public autosynch::Monitor {"),
+            std::string::npos);
+  EXPECT_NE(Cpp.find("#include \"core/Monitor.h\""), std::string::npos);
+  EXPECT_NE(Cpp.find("#ifndef AUTOSYNCHC_GEN_TEST_ASYNCH_H"),
+            std::string::npos);
+}
+
+TEST(TranslatorTest, CtorParamBecomesSharedVariable) {
+  std::string Cpp = translateOk(BoundedBufferSource);
+  EXPECT_NE(Cpp.find("Shared<int64_t> capacity_;"), std::string::npos);
+  EXPECT_NE(Cpp.find("capacity_(*this, \"capacity\", capacity)"),
+            std::string::npos);
+  EXPECT_NE(Cpp.find("autosynch::MonitorConfig Cfg = {}"),
+            std::string::npos);
+}
+
+TEST(TranslatorTest, SharedDeclBecomesMember) {
+  std::string Cpp = translateOk(BoundedBufferSource);
+  EXPECT_NE(Cpp.find("Shared<int64_t> count_{*this, \"count\", 0};"),
+            std::string::npos);
+}
+
+TEST(TranslatorTest, MethodsWrapBodiesInRegion) {
+  std::string Cpp = translateOk(BoundedBufferSource);
+  EXPECT_NE(Cpp.find("void put(int64_t items) {"), std::string::npos);
+  EXPECT_NE(Cpp.find("int64_t take(int64_t num) {"), std::string::npos);
+  // One Region per method (the paper's lock/unlock insertion, Fig. 5).
+  size_t Count = 0;
+  for (size_t Pos = Cpp.find("Region AutosynchRegion(*this);");
+       Pos != std::string::npos;
+       Pos = Cpp.find("Region AutosynchRegion(*this);", Pos + 1))
+    ++Count;
+  EXPECT_EQ(Count, 2u);
+}
+
+TEST(TranslatorTest, WaituntilCarriesLocalBindings) {
+  std::string Cpp = translateOk(BoundedBufferSource);
+  // Globalization bindings (paper §4.1): exactly the locals the predicate
+  // mentions.
+  EXPECT_NE(Cpp.find("waitUntil(\"count + items <= capacity\", "
+                     "locals().bindInt(local(\"items\"), items));"),
+            std::string::npos);
+  EXPECT_NE(Cpp.find("waitUntil(\"count >= num\", "
+                     "locals().bindInt(local(\"num\"), num));"),
+            std::string::npos);
+}
+
+TEST(TranslatorTest, SharedOnlyPredicateRegisteredEagerly) {
+  // Paper Fig. 5: static shared predicates registered in the constructor.
+  std::string Cpp = translateOk(R"(
+monitor Gate {
+  shared int open = 0;
+  method pass() {
+    waituntil(open >= 1);
+  }
+  method openUp() {
+    open = 1;
+  }
+}
+)");
+  EXPECT_NE(Cpp.find("registerPredicate(\"open >= 1\");"),
+            std::string::npos);
+  EXPECT_NE(Cpp.find("waitUntil(\"open >= 1\");"), std::string::npos);
+}
+
+TEST(TranslatorTest, SharedReadsGoThroughGet) {
+  std::string Cpp = translateOk(BoundedBufferSource);
+  EXPECT_NE(Cpp.find("count_ = count_.get() + items;"), std::string::npos);
+  EXPECT_NE(Cpp.find("count_ = count_.get() - num;"), std::string::npos);
+}
+
+TEST(TranslatorTest, BoolSharedAndLocals) {
+  std::string Cpp = translateOk(R"(
+monitor Toggle {
+  shared bool on = false;
+  method set(bool v) {
+    on = v;
+  }
+  method awaitMatch(bool v) {
+    waituntil(on == v);
+  }
+}
+)");
+  EXPECT_NE(Cpp.find("Shared<bool> on_{*this, \"on\", false};"),
+            std::string::npos);
+  EXPECT_NE(Cpp.find("void set(bool v) {"), std::string::npos);
+  EXPECT_NE(
+      Cpp.find("locals().bindBool(local(\"v\", autosynch::TypeKind::Bool), "
+               "v)"),
+      std::string::npos);
+}
+
+TEST(TranslatorTest, ControlFlowStatements) {
+  std::string Cpp = translateOk(R"(
+monitor Counter {
+  shared int n = 0;
+  method bump(int times) {
+    int i = 0;
+    while (i < times) {
+      if (n >= 100) {
+        n = 0;
+      } else {
+        n = n + 1;
+      }
+      i = i + 1;
+    }
+  }
+}
+)");
+  EXPECT_NE(Cpp.find("while (i < times) {"), std::string::npos);
+  EXPECT_NE(Cpp.find("if (n_.get() >= 100) {"), std::string::npos);
+  EXPECT_NE(Cpp.find("} else {"), std::string::npos);
+  EXPECT_NE(Cpp.find("int64_t i = 0;"), std::string::npos);
+}
+
+TEST(TranslatorTest, MultipleMonitorsInOneFile) {
+  std::string Cpp = translateOk(R"(
+monitor A { shared int x = 0; method touch() { x = 1; } }
+monitor B { shared int y = 0; method touch() { y = 1; } }
+)");
+  EXPECT_NE(Cpp.find("class A : public autosynch::Monitor {"),
+            std::string::npos);
+  EXPECT_NE(Cpp.find("class B : public autosynch::Monitor {"),
+            std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Diagnostics
+//===----------------------------------------------------------------------===//
+
+TEST(TranslatorTest, EmptyInputIsError) {
+  EXPECT_NE(firstError("").find("no monitors"), std::string::npos);
+}
+
+TEST(TranslatorTest, MissingMonitorKeyword) {
+  EXPECT_NE(firstError("class Foo {}").find("expected 'monitor'"),
+            std::string::npos);
+}
+
+TEST(TranslatorTest, UndeclaredVariableInPredicate) {
+  EXPECT_NE(firstError(R"(
+monitor M { method f() { waituntil(ghost >= 1); } }
+)")
+                .find("undeclared variable 'ghost'"),
+            std::string::npos);
+}
+
+TEST(TranslatorTest, NonBoolWaituntil) {
+  EXPECT_NE(firstError(R"(
+monitor M { shared int x = 0; method f() { waituntil(x + 1); } }
+)")
+                .find("bool-typed"),
+            std::string::npos);
+}
+
+TEST(TranslatorTest, AssignTypeMismatch) {
+  EXPECT_NE(firstError(R"(
+monitor M { shared int x = 0; method f() { x = true; } }
+)")
+                .find("does not match"),
+            std::string::npos);
+}
+
+TEST(TranslatorTest, AssignToUndeclared) {
+  EXPECT_NE(firstError(R"(
+monitor M { method f() { y = 1; } }
+)")
+                .find("undeclared variable 'y'"),
+            std::string::npos);
+}
+
+TEST(TranslatorTest, DuplicateSharedVariable) {
+  EXPECT_NE(firstError(R"(
+monitor M { shared int x = 0; shared bool x = true; }
+)")
+                .find("redeclaration"),
+            std::string::npos);
+}
+
+TEST(TranslatorTest, ParamShadowingShared) {
+  EXPECT_NE(firstError(R"(
+monitor M { shared int x = 0; method f(int x) { x = 1; } }
+)")
+                .find("shadows"),
+            std::string::npos);
+}
+
+TEST(TranslatorTest, ReturnTypeChecks) {
+  EXPECT_NE(firstError(R"(
+monitor M { method f() { return 3; } }
+)")
+                .find("void method cannot return"),
+            std::string::npos);
+  EXPECT_NE(firstError(R"(
+monitor M { shared bool b = false; method f() returns int { return b; } }
+)")
+                .find("return value type"),
+            std::string::npos);
+  EXPECT_NE(firstError(R"(
+monitor M { method f() returns int { return; } }
+)")
+                .find("needs a value"),
+            std::string::npos);
+}
+
+TEST(TranslatorTest, LocalTypeConflictAcrossMethods) {
+  EXPECT_NE(firstError(R"(
+monitor M {
+  shared int x = 0;
+  method f(int v) { waituntil(x >= v); }
+  method g(bool v) { waituntil(x >= 1 && v); }
+}
+)")
+                .find("different types"),
+            std::string::npos);
+}
+
+TEST(TranslatorTest, ReservedNamesRejected) {
+  EXPECT_NE(firstError(R"(
+monitor M { method waitUntil() { } }
+)")
+                .find("reserved"),
+            std::string::npos);
+}
+
+TEST(TranslatorTest, BadInitializer) {
+  EXPECT_NE(firstError(R"(
+monitor M { shared int x = true; }
+)")
+                .find("literal of the declared type"),
+            std::string::npos);
+}
+
+TEST(TranslatorTest, ErrorLocationsPointIntoExpressions) {
+  TranslateResult R = translateMonitorSource(R"(
+monitor M {
+  shared int x = 0;
+  method f() {
+    waituntil(x >= oops);
+  }
+}
+)",
+                                             "test.asynch");
+  ASSERT_FALSE(R.ok());
+  EXPECT_EQ(R.Errors.front().Line, 5); // The waituntil line.
+  EXPECT_NE(R.Errors.front().Message.find("oops"), std::string::npos);
+}
+
+} // namespace

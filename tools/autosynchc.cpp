@@ -1,0 +1,94 @@
+//===- tools/autosynchc.cpp - The AutoSynch translator CLI -------------------===//
+//
+// Part of AutoSynch-C++, a reproduction of "AutoSynch: An Automatic-Signal
+// Monitor Based on Predicate Tagging" (Hung & Garg, PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+//
+// Command-line front end of the source-to-source translator (the paper's
+// preprocessor, Fig. 2):
+//
+//   autosynchc input.asynch [-o output.h]
+//
+// Reads the monitor-language source, emits a C++ header of monitor classes
+// built on the autosynch runtime, or prints diagnostics and exits nonzero.
+//
+//===----------------------------------------------------------------------===//
+
+#include "translate/Translate.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+using namespace autosynch;
+
+static int usage(const char *Argv0) {
+  std::fprintf(stderr,
+               "usage: %s <input.asynch> [-o <output.h>]\n"
+               "Translates AutoSynch monitor declarations to C++ classes\n"
+               "over the autosynch runtime (writes stdout by default).\n",
+               Argv0);
+  return 2;
+}
+
+int main(int Argc, char **Argv) {
+  const char *InputPath = nullptr;
+  const char *OutputPath = nullptr;
+  for (int I = 1; I != Argc; ++I) {
+    if (std::strcmp(Argv[I], "-o") == 0) {
+      if (I + 1 == Argc)
+        return usage(Argv[0]);
+      OutputPath = Argv[++I];
+    } else if (Argv[I][0] == '-') {
+      return usage(Argv[0]);
+    } else if (!InputPath) {
+      InputPath = Argv[I];
+    } else {
+      return usage(Argv[0]);
+    }
+  }
+  if (!InputPath)
+    return usage(Argv[0]);
+
+  std::ifstream In(InputPath);
+  if (!In) {
+    std::fprintf(stderr, "autosynchc: error: cannot open '%s'\n", InputPath);
+    return 1;
+  }
+  std::stringstream Buffer;
+  Buffer << In.rdbuf();
+  std::string Source = Buffer.str();
+
+  // Use the basename for the banner/guard.
+  std::string Name(InputPath);
+  size_t Slash = Name.find_last_of('/');
+  if (Slash != std::string::npos)
+    Name = Name.substr(Slash + 1);
+
+  translate::TranslateResult Result =
+      translate::translateMonitorSource(Source, Name);
+  if (!Result.ok()) {
+    for (const ParseError &E : Result.Errors)
+      std::fprintf(stderr, "%s:%s: error: %s\n", InputPath,
+                   (std::to_string(E.Line) + ":" + std::to_string(E.Col))
+                       .c_str(),
+                   E.Message.c_str());
+    return 1;
+  }
+
+  if (!OutputPath) {
+    std::fputs(Result.Cpp.c_str(), stdout);
+    return 0;
+  }
+  std::ofstream OutFile(OutputPath);
+  if (!OutFile) {
+    std::fprintf(stderr, "autosynchc: error: cannot write '%s'\n",
+                 OutputPath);
+    return 1;
+  }
+  OutFile << Result.Cpp;
+  return 0;
+}
