@@ -1,0 +1,57 @@
+#===- tests/translate/GoldenDiff.cmake - translator golden-file check -----===#
+#
+# Runs the freshly built autosynchc over the committed example specs and
+# byte-compares the output against the golden headers under
+# examples/generated/.  Invoked by ctest as:
+#
+#   cmake -DAUTOSYNCHC=<tool> -DEXAMPLES_DIR=<dir> -DWORK_DIR=<dir> \
+#     -P GoldenDiff.cmake
+#
+#===------------------------------------------------------------------------===#
+
+foreach(var AUTOSYNCHC EXAMPLES_DIR WORK_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "GoldenDiff.cmake: missing -D${var}=...")
+  endif()
+endforeach()
+
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+# Every committed spec is checked, so adding an .asynch file (plus its
+# generated header) extends coverage automatically.
+file(GLOB _spec_files "${EXAMPLES_DIR}/*.asynch")
+if(NOT _spec_files)
+  message(FATAL_ERROR "no .asynch specs found under ${EXAMPLES_DIR}")
+endif()
+
+set(_checked "")
+foreach(spec_file IN LISTS _spec_files)
+  get_filename_component(spec "${spec_file}" NAME_WE)
+  list(APPEND _checked "${spec}.h")
+  set(input "${EXAMPLES_DIR}/${spec}.asynch")
+  set(output "${WORK_DIR}/${spec}.h")
+  set(golden "${EXAMPLES_DIR}/generated/${spec}.h")
+
+  execute_process(
+    COMMAND "${AUTOSYNCHC}" "${input}" -o "${output}"
+    RESULT_VARIABLE rc
+    ERROR_VARIABLE stderr)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR
+      "autosynchc failed on ${input} (exit ${rc}):\n${stderr}")
+  endif()
+
+  execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files "${output}" "${golden}"
+    RESULT_VARIABLE diff)
+  if(NOT diff EQUAL 0)
+    # Show the actual divergence in the failure log.
+    execute_process(COMMAND diff -u "${golden}" "${output}"
+      OUTPUT_VARIABLE diff_text ERROR_QUIET)
+    message(FATAL_ERROR
+      "autosynchc output for ${spec}.asynch diverges from golden "
+      "${golden}:\n${diff_text}")
+  endif()
+endforeach()
+
+message(STATUS "golden files match: ${_checked}")
