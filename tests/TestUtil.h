@@ -20,9 +20,98 @@
 #include "expr/SymbolTable.h"
 #include "support/Rng.h"
 
+#include <gtest/gtest.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <thread>
 #include <vector>
 
 namespace autosynch::testutil {
+
+/// Parses AUTOSYNCH_TEST_SEED (decimal or 0x-hex). Returns true and sets
+/// \p Out when the variable is present; the parse result is cached so every
+/// call site in a test binary sees the same base seed.
+inline bool envSeedBase(uint64_t &Out) {
+  struct Cached {
+    bool Present = false;
+    uint64_t Value = 0;
+  };
+  static const Cached C = [] {
+    Cached R;
+    if (const char *S = std::getenv("AUTOSYNCH_TEST_SEED")) {
+      char *End = nullptr;
+      R.Present = true;
+      // Explicit base: base 0 would read a zero-padded decimal as octal.
+      int Base = (S[0] == '0' && (S[1] == 'x' || S[1] == 'X')) ? 16 : 10;
+      errno = 0;
+      R.Value = std::strtoull(S, &End, Base);
+      // strtoull would silently negate a '-' seed and saturate on
+      // overflow; both are typos worth rejecting.
+      if (End == S || *End != '\0' || S[0] == '-' || errno == ERANGE) {
+        // A typo'd seed silently mixing base 0 would mask the mistake;
+        // fail the run loudly instead.
+        std::fprintf(stderr,
+                     "AUTOSYNCH_TEST_SEED='%s' is not a number "
+                     "(decimal or 0x-hex)\n",
+                     S);
+        std::abort();
+      }
+    }
+    return R;
+  }();
+  Out = C.Value;
+  return C.Present;
+}
+
+/// The seed a randomized test should run with: the per-site \p Default
+/// normally, or — when AUTOSYNCH_TEST_SEED is set — the environment base
+/// mixed with the site default so distinct call sites keep distinct
+/// streams. Same environment value, same effective seed: flakes reproduce.
+inline uint64_t effectiveSeed(uint64_t Default) {
+  uint64_t Base;
+  if (!envSeedBase(Base))
+    return Default;
+  return Base ^ (Default * 0x9e3779b97f4a7c15ULL);
+}
+
+/// Failure annotation naming the seed in force, so a flaky randomized test
+/// prints everything needed to rerun it.
+inline std::string seedNote(uint64_t Default) {
+  std::ostringstream OS;
+  uint64_t Base;
+  OS << "randomized test seed 0x" << std::hex << effectiveSeed(Default);
+  if (envSeedBase(Base))
+    OS << " (AUTOSYNCH_TEST_SEED=0x" << Base << ")";
+  else
+    OS << " (rerun with AUTOSYNCH_TEST_SEED to vary)";
+  return OS.str();
+}
+
+/// Blocks until \p N threads are parked in M's await(). The fixture must
+/// expose waiters() (see AUTOSYNCH_TEST_WAITER_PROBE); a fixed sleep is
+/// not enough under TSan or on loaded machines. Bounded so a fast-path
+/// regression (the waiter never parks) fails with context in seconds
+/// instead of hanging until the ctest timeout kills the binary.
+template <typename MonitorT> void awaitWaiters(MonitorT &M, int N) {
+  auto Deadline = std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (M.waiters() < N) {
+    if (std::chrono::steady_clock::now() >= Deadline) {
+      FAIL() << "awaitWaiters: still " << M.waiters() << "/" << N
+             << " parked waiters after 30s; did the waiter take the "
+                "fast path?";
+      return;
+    }
+    // A real sleep, not a yield: each poll takes the monitor lock and runs
+    // the relay on exit, which is expensive under TSan and contends with
+    // the waiter trying to park.
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
+}
 
 /// A fixture with a few shared and local variables of both types:
 /// shared ints x, y, z; shared bool flag; local ints a, b; local bool p.
@@ -121,5 +210,21 @@ inline MapEnv randomEnv(Rng &R, const Vars &V) {
 }
 
 } // namespace autosynch::testutil
+
+/// Declares `::autosynch::Rng Var` honoring AUTOSYNCH_TEST_SEED, and
+/// arranges for any assertion failure in the enclosing scope to print the
+/// seed that produced it.
+#define AUTOSYNCH_SEEDED_RNG(Var, Default)                                   \
+  ::autosynch::Rng Var(::autosynch::testutil::effectiveSeed(Default));       \
+  SCOPED_TRACE(::autosynch::testutil::seedNote(Default))
+
+/// Injects a race-free `waiters()` accessor into a test monitor class:
+/// reads numWaiters() under the region lock, where the condition manager
+/// mutates it. Pair with testutil::awaitWaiters.
+#define AUTOSYNCH_TEST_WAITER_PROBE()                                        \
+  int waiters() {                                                            \
+    Region R(*this);                                                         \
+    return conditionManager().numWaiters();                                  \
+  }
 
 #endif // AUTOSYNCH_TESTS_TESTUTIL_H

@@ -51,7 +51,7 @@ INSTANTIATE_TEST_SUITE_P(
 TEST_P(PropertyTest, BytecodeMatchesTreeWalk) {
   Vars V;
   ExprArena A;
-  Rng R(GetParam().Seed);
+  AUTOSYNCH_SEEDED_RNG(R, GetParam().Seed);
   for (int T = 0; T != TrialsPerCase; ++T) {
     ExprRef E =
         testutil::randomExpr(R, A, V, TypeKind::Bool, GetParam().Depth);
@@ -66,7 +66,7 @@ TEST_P(PropertyTest, BytecodeMatchesTreeWalk) {
 TEST_P(PropertyTest, BytecodeMatchesTreeWalkOnIntExprs) {
   Vars V;
   ExprArena A;
-  Rng R(GetParam().Seed ^ 0x9999);
+  AUTOSYNCH_SEEDED_RNG(R, GetParam().Seed ^ 0x9999);
   for (int T = 0; T != TrialsPerCase; ++T) {
     ExprRef E =
         testutil::randomExpr(R, A, V, TypeKind::Int, GetParam().Depth);
@@ -81,7 +81,7 @@ TEST_P(PropertyTest, BytecodeMatchesTreeWalkOnIntExprs) {
 TEST_P(PropertyTest, NnfPreservesMeaning) {
   Vars V;
   ExprArena A;
-  Rng R(GetParam().Seed ^ 0xABCD);
+  AUTOSYNCH_SEEDED_RNG(R, GetParam().Seed ^ 0xABCD);
   for (int T = 0; T != TrialsPerCase; ++T) {
     ExprRef E =
         testutil::randomExpr(R, A, V, TypeKind::Bool, GetParam().Depth);
@@ -97,7 +97,7 @@ TEST_P(PropertyTest, NnfPreservesMeaning) {
 TEST_P(PropertyTest, DnfPreservesMeaning) {
   Vars V;
   ExprArena A;
-  Rng R(GetParam().Seed ^ 0x1234);
+  AUTOSYNCH_SEEDED_RNG(R, GetParam().Seed ^ 0x1234);
   for (int T = 0; T != TrialsPerCase; ++T) {
     ExprRef E =
         testutil::randomExpr(R, A, V, TypeKind::Bool, GetParam().Depth);
@@ -117,7 +117,7 @@ TEST_P(PropertyTest, CanonicalizationPreservesMeaning) {
   // transformation every registered waituntil predicate undergoes.
   Vars V;
   ExprArena A;
-  Rng R(GetParam().Seed ^ 0x5555);
+  AUTOSYNCH_SEEDED_RNG(R, GetParam().Seed ^ 0x5555);
   for (int T = 0; T != TrialsPerCase; ++T) {
     ExprRef E =
         testutil::randomExpr(R, A, V, TypeKind::Bool, GetParam().Depth);
@@ -141,7 +141,7 @@ TEST_P(PropertyTest, CanonicalizationPreservesMeaning) {
 TEST_P(PropertyTest, CanonicalizationIsIdempotent) {
   Vars V;
   ExprArena A;
-  Rng R(GetParam().Seed ^ 0x7777);
+  AUTOSYNCH_SEEDED_RNG(R, GetParam().Seed ^ 0x7777);
   for (int T = 0; T != TrialsPerCase; ++T) {
     ExprRef E =
         testutil::randomExpr(R, A, V, TypeKind::Bool, GetParam().Depth);
@@ -156,7 +156,7 @@ TEST_P(PropertyTest, CanonicalizationIsIdempotent) {
 TEST_P(PropertyTest, PrinterOutputReparsesToSameNode) {
   Vars V;
   ExprArena A;
-  Rng R(GetParam().Seed ^ 0xDEAD);
+  AUTOSYNCH_SEEDED_RNG(R, GetParam().Seed ^ 0xDEAD);
   for (int T = 0; T != TrialsPerCase; ++T) {
     ExprRef E =
         testutil::randomExpr(R, A, V, TypeKind::Bool, GetParam().Depth);

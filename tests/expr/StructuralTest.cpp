@@ -37,7 +37,7 @@ TEST(StructuralTest, ZeroExactlyOnIdenticalNodes) {
 TEST(StructuralTest, Antisymmetry) {
   Vars V;
   ExprArena A;
-  Rng R(31);
+  AUTOSYNCH_SEEDED_RNG(R, 31);
   for (int I = 0; I != 300; ++I) {
     ExprRef E1 = testutil::randomExpr(R, A, V, TypeKind::Bool, 3);
     ExprRef E2 = testutil::randomExpr(R, A, V, TypeKind::Bool, 3);
@@ -55,7 +55,7 @@ TEST(StructuralTest, Antisymmetry) {
 TEST(StructuralTest, TransitivityOnRandomTriples) {
   Vars V;
   ExprArena A;
-  Rng R(37);
+  AUTOSYNCH_SEEDED_RNG(R, 37);
   for (int I = 0; I != 200; ++I) {
     ExprRef E[3];
     for (auto &Slot : E)
@@ -70,7 +70,7 @@ TEST(StructuralTest, TransitivityOnRandomTriples) {
 TEST(StructuralTest, SortingIsDeterministicAcrossShuffles) {
   Vars V;
   ExprArena A;
-  Rng R(41);
+  AUTOSYNCH_SEEDED_RNG(R, 41);
   std::vector<ExprRef> Exprs;
   for (int I = 0; I != 40; ++I)
     Exprs.push_back(testutil::randomExpr(R, A, V, TypeKind::Bool, 3));

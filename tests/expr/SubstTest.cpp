@@ -80,7 +80,7 @@ TEST_F(SubstTest, SubstituteReplacesAnyBoundVariable) {
 TEST_F(SubstTest, SemanticEquivalenceProposition1) {
   // Proposition 1: P(x, a) == P(x, a_t) under any shared state, when the
   // locals hold the globalized values.
-  Rng R(123);
+  AUTOSYNCH_SEEDED_RNG(R, 123);
   for (int Trial = 0; Trial != 200; ++Trial) {
     ExprRef P = testutil::randomExpr(R, A, V, TypeKind::Bool, 4);
     MapEnv Env = testutil::randomEnv(R, V);

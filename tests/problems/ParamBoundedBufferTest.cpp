@@ -6,6 +6,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "ProblemTestUtil.h"
+#include "TestUtil.h"
 #include "problems/ParamBoundedBuffer.h"
 #include "support/Rng.h"
 
@@ -100,7 +101,7 @@ TEST_P(ParamBoundedBufferTest, RandomBatchesConserveItems) {
   // Precompute batches so production exactly covers demand.
   std::vector<std::vector<int64_t>> Batches(Consumers);
   int64_t Total = 0;
-  Rng R(99);
+  AUTOSYNCH_SEEDED_RNG(R, 99);
   for (auto &Seq : Batches) {
     for (int I = 0; I != OpsPerConsumer; ++I) {
       Seq.push_back(R.range(1, 128));
@@ -116,7 +117,9 @@ TEST_P(ParamBoundedBufferTest, RandomBatchesConserveItems) {
     });
   }
   std::thread Producer([&] {
-    Rng PR(7);
+    // Worker thread: no SCOPED_TRACE (it is thread-local in gtest), but
+    // the producer's stream still follows AUTOSYNCH_TEST_SEED.
+    Rng PR(testutil::effectiveSeed(7));
     int64_t Remaining = Total;
     while (Remaining > 0) {
       int64_t N = std::min<int64_t>(Remaining, PR.range(1, 128));

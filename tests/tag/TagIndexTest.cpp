@@ -184,7 +184,7 @@ TEST_F(TagIndexTest, RandomizedSoundnessAndCompleteness) {
   // The relay-invariance-critical property: findTrue returns a record iff
   // some registered predicate is true, and the returned record's predicate
   // is true. (Which record is unspecified.)
-  Rng R(77);
+  AUTOSYNCH_SEEDED_RNG(R, 77);
   const char *Pool[] = {
       "x == 0",        "x == 3",      "x == -4",     "x >= 2",
       "x >= 7",        "x > -3",      "x <= -2",     "x < 5",

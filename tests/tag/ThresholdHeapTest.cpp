@@ -5,6 +5,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "TestUtil.h"
 #include "support/Rng.h"
 #include "tag/ThresholdHeap.h"
 
@@ -165,7 +166,7 @@ TEST(ThresholdHeapTest, RandomizedAgainstBruteForceOracle) {
   // Soundness: any returned record's tag and predicate are true.
   // Completeness: when the oracle finds some true-tag true-record, the
   // heap search finds one too.
-  Rng R(2024);
+  AUTOSYNCH_SEEDED_RNG(R, 2024);
   for (int Round = 0; Round != 50; ++Round) {
     Heap H(Heap::Direction::LowerBound);
     std::vector<std::unique_ptr<StubRecord>> Records;
