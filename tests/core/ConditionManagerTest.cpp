@@ -5,6 +5,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "TestUtil.h"
 #include "core/Monitor.h"
 
 #include <gtest/gtest.h>
@@ -37,6 +38,8 @@ public:
     Turn = 0;
   }
 
+  AUTOSYNCH_TEST_WAITER_PROBE()
+
   using Monitor::conditionManager;
 
 private:
@@ -54,7 +57,7 @@ TEST(ConditionManagerTest, InactiveCacheReusesPredicates) {
     M.reset();
     for (int64_t T = 1; T <= 4; ++T) {
       std::thread W([&M, T] { M.awaitTurn(T); });
-      std::this_thread::sleep_for(std::chrono::milliseconds(Round ? 20 : 2));
+      testutil::awaitWaiters(M, 1);
       for (int64_t Step = 0; Step != T; ++Step)
         M.advance();
       W.join();
@@ -79,7 +82,7 @@ TEST(ConditionManagerTest, EvictionBoundsTheTable) {
     std::thread W([&M, T] { M.awaitTurn(T); });
     // Let the waiter block (and register) before its predicate turns true;
     // otherwise it takes the fast path and registers nothing.
-    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    testutil::awaitWaiters(M, 1);
     M.advance();
     W.join();
   }
@@ -92,7 +95,7 @@ TEST(ConditionManagerTest, StatsTrackWaitsAndSignals) {
   MonitorConfig Cfg;
   TurnMonitor M(Cfg);
   std::thread W([&] { M.awaitTurn(1); });
-  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  testutil::awaitWaiters(M, 1);
   M.advance();
   W.join();
   const ManagerStats &S = M.conditionManager().stats();
@@ -104,7 +107,7 @@ TEST(ConditionManagerTest, StatsTrackWaitsAndSignals) {
 TEST(ConditionManagerTest, ResetStatsClears) {
   TurnMonitor M(MonitorConfig{});
   std::thread W([&] { M.awaitTurn(1); });
-  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  testutil::awaitWaiters(M, 1);
   M.advance();
   W.join();
   M.conditionManager().resetStats();
@@ -133,7 +136,7 @@ TEST(ConditionManagerTest, PhaseTimersAccumulateWhenEnabled) {
   Cfg.EnablePhaseTimers = true;
   TurnMonitor M(Cfg);
   std::thread W([&] { M.awaitTurn(1); });
-  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  testutil::awaitWaiters(M, 1);
   M.advance();
   W.join();
   PhaseTimers &T = M.conditionManager().timers();
@@ -148,7 +151,7 @@ TEST(ConditionManagerTest, PhaseTimersSilentWhenDisabled) {
   Cfg.EnablePhaseTimers = false;
   TurnMonitor M(Cfg);
   std::thread W([&] { M.awaitTurn(1); });
-  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  testutil::awaitWaiters(M, 1);
   M.advance();
   W.join();
   PhaseTimers &T = M.conditionManager().timers();
@@ -161,7 +164,7 @@ TEST(ConditionManagerTest, TaggedSearchStatsAdvance) {
   Cfg.Policy = SignalPolicy::Tagged;
   TurnMonitor M(Cfg);
   std::thread W([&] { M.awaitTurn(1); });
-  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  testutil::awaitWaiters(M, 1);
   M.advance();
   W.join();
   const TagSearchStats &S = M.conditionManager().stats().Search;

@@ -5,6 +5,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "TestUtil.h"
 #include "core/Monitor.h"
 
 #include <gtest/gtest.h>
@@ -16,6 +17,8 @@
 using namespace autosynch;
 
 namespace {
+
+using testutil::awaitWaiters;
 
 /// A small counter monitor exercising both predicate front ends.
 class CounterMonitor : public Monitor {
@@ -57,6 +60,8 @@ public:
     Region R(*this);
     return true;
   }
+
+  AUTOSYNCH_TEST_WAITER_PROBE()
 
   void waitUnsatisfiable() {
     Region R(*this);
@@ -101,6 +106,9 @@ TEST_P(MonitorPolicyTest, FastPathWhenPredicateAlreadyTrue) {
 TEST_P(MonitorPolicyTest, WaiterWokenBySingleProducer) {
   CounterMonitor M(config());
   std::thread Waiter([&] { M.awaitAtLeastEdsl(3); });
+  // Don't produce until the waiter has blocked, or on a loaded machine the
+  // producer can finish first and the wait degenerates to the fast path.
+  awaitWaiters(M, 1);
   std::thread Producer([&] {
     for (int I = 0; I != 3; ++I)
       M.add(1);
@@ -195,13 +203,14 @@ TEST(MonitorTest, SharedBoolVariables) {
       Region R(*this);
       waitUntil(Ready.expr());
     }
+    AUTOSYNCH_TEST_WAITER_PROBE()
 
   private:
     Shared<bool> Ready{*this, "ready", false};
   };
   Flagged M;
   std::thread W([&] { M.awaitReady(); });
-  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  awaitWaiters(M, 1);
   M.setReady();
   W.join();
 }
@@ -226,6 +235,7 @@ TEST(MonitorTest, EquivalentPredicatesShareOneRegistration) {
       Region R(*this);
       waitUntil(X * 2 >= 96);
     }
+    AUTOSYNCH_TEST_WAITER_PROBE()
     using Monitor::conditionManager;
 
   private:
@@ -236,14 +246,14 @@ TEST(MonitorTest, EquivalentPredicatesShareOneRegistration) {
   std::thread A([&] { M.waitA(); });
   std::thread B([&] { M.waitB(); });
   std::thread C([&] { M.waitC(); });
-  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  awaitWaiters(M, 3);
   M.bump();
   A.join();
   B.join();
   C.join();
-  // At most one registration; the others reuse it (some may even have hit
-  // the fast path if they arrived after the bump).
-  EXPECT_LE(M.conditionManager().stats().Registrations, 1u);
+  // All three blocked before the bump, so exactly one registration was
+  // created and the equivalent predicates shared it.
+  EXPECT_EQ(M.conditionManager().stats().Registrations, 1u);
 }
 
 TEST(MonitorTest, EagerRegistrationIsReused) {
@@ -258,6 +268,7 @@ TEST(MonitorTest, EagerRegistrationIsReused) {
       Region R(*this);
       waitUntil(X >= 5);
     }
+    AUTOSYNCH_TEST_WAITER_PROBE()
     using Monitor::conditionManager;
 
   private:
@@ -266,7 +277,7 @@ TEST(MonitorTest, EagerRegistrationIsReused) {
   M2 M;
   EXPECT_EQ(M.conditionManager().numRegistered(), 1u);
   std::thread W([&] { M.wait(); });
-  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  awaitWaiters(M, 1);
   M.bump();
   W.join();
   EXPECT_EQ(M.conditionManager().stats().Registrations, 1u);

@@ -142,8 +142,9 @@ TEST_P(MonitorStressTest, MixedPredicateChurn) {
   EXPECT_EQ(W.stock(), 0);
   EXPECT_EQ(W.conditionManager().numWaiters(), 0);
   EXPECT_EQ(W.conditionManager().pendingSignals(), 0);
-  if (GetParam().Policy != SignalPolicy::Broadcast)
+  if (GetParam().Policy != SignalPolicy::Broadcast) {
     EXPECT_EQ(W.conditionManager().stats().BroadcastSignals, 0u);
+  }
 }
 
 TEST_P(MonitorStressTest, EpochBarrierChains) {
