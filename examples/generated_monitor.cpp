@@ -8,8 +8,7 @@
 // Demonstrates the translator pipeline (the paper's Fig. 2): the monitor in
 // examples/bounded_buffer.asynch was translated by
 //
-//   autosynchc examples/bounded_buffer.asynch \
-//       -o examples/generated/bounded_buffer.h
+//   autosynchc examples/bounded_buffer.asynch -o generated/bounded_buffer.h
 //
 // and the generated class is used below like any hand-written monitor —
 // including running it under the Baseline / AutoSynch-T / AutoSynch signal
