@@ -1,0 +1,46 @@
+//===- bench/ext01_cyclic_barrier.cpp - FIFO cyclic barrier -----------------===//
+//
+// Part of AutoSynch-C++, a reproduction of "AutoSynch: An Automatic-Signal
+// Monitor Based on Predicate Tagging" (Hung & Garg, PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+//
+// Extension beyond the paper's figures: N parties crossing a FIFO cyclic
+// barrier. Every waiter blocks on a distinct globalized threshold
+// predicate (`generation > g`), so the threshold heap holds one frontier
+// tag per in-flight generation; explicit signaling gets to use signalAll
+// (the whole group wakes), the broadcast baseline is identical in shape.
+//
+//===----------------------------------------------------------------------===//
+
+#include "FigureBench.h"
+
+using namespace autosynch;
+using namespace autosynch::bench;
+
+int main() {
+  BenchOptions Opts = BenchOptions::fromEnv();
+  banner("Ext. 1 - FIFO cyclic barrier (runtime seconds)",
+         "N parties, whole-group generations", Opts);
+
+  const int64_t TotalGenerations = Opts.scaled(4000);
+  const Mechanism Mechs[] = {Mechanism::Explicit, Mechanism::Baseline,
+                             Mechanism::AutoSynchT, Mechanism::AutoSynch};
+
+  Table T({"parties", "explicit", "baseline", "AutoSynch-T", "AutoSynch"});
+  for (int N : Opts.ThreadCounts) {
+    std::vector<std::string> Row = {std::to_string(N)};
+    // Fixed total await budget: generations shrink as parties grow.
+    int64_t Generations = std::max<int64_t>(1, TotalGenerations / N);
+    for (Mechanism M : Mechs) {
+      RunMetrics R = repeatRun(Opts.Reps, [&] {
+        auto B = makeCyclicBarrier(M, N);
+        return runCyclicBarrier(*B, Generations);
+      });
+      Row.push_back(Table::fmtSeconds(R.Seconds));
+    }
+    T.addRow(std::move(Row));
+  }
+  T.print();
+  return 0;
+}

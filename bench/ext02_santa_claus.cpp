@@ -1,0 +1,49 @@
+//===- bench/ext02_santa_claus.cpp - Santa Claus problem --------------------===//
+//
+// Part of AutoSynch-C++, a reproduction of "AutoSynch: An Automatic-Signal
+// Monitor Based on Predicate Tagging" (Hung & Garg, PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+//
+// Extension beyond the paper's figures: Trono's Santa Claus problem. Santa
+// waits on a two-disjunct threshold predicate; arrivals wait on pass
+// counters. The thread sweep scales the elf population (reindeer stay at
+// one team) — contention concentrates on the elf pass counter, the
+// signalAll-hostile shape.
+//
+//===----------------------------------------------------------------------===//
+
+#include "FigureBench.h"
+
+#include <algorithm>
+
+using namespace autosynch;
+using namespace autosynch::bench;
+
+int main() {
+  BenchOptions Opts = BenchOptions::fromEnv();
+  banner("Ext. 2 - Santa Claus (runtime seconds)",
+         "9-reindeer team, 3-elf groups, N elf threads", Opts);
+
+  const int64_t TotalConsultations = Opts.scaled(4000);
+  const int64_t TotalDeliveries = std::max<int64_t>(1, Opts.scaled(200));
+  const Mechanism Mechs[] = {Mechanism::Explicit, Mechanism::Baseline,
+                             Mechanism::AutoSynchT, Mechanism::AutoSynch};
+
+  Table T({"elves", "explicit", "baseline", "AutoSynch-T", "AutoSynch"});
+  for (int N : Opts.ThreadCounts) {
+    int ElfThreads = std::max(N, 3); // At least one full elf group.
+    std::vector<std::string> Row = {std::to_string(ElfThreads)};
+    for (Mechanism M : Mechs) {
+      RunMetrics R = repeatRun(Opts.Reps, [&] {
+        auto S = makeSantaClaus(M);
+        return runSantaClaus(*S, /*ReindeerThreads=*/9, ElfThreads,
+                             TotalDeliveries, TotalConsultations);
+      });
+      Row.push_back(Table::fmtSeconds(R.Seconds));
+    }
+    T.addRow(std::move(Row));
+  }
+  T.print();
+  return 0;
+}

@@ -213,6 +213,56 @@ RunMetrics bench::runReadersWriters(ReadersWritersIface &RW, int Writers,
   return measure(std::move(Work));
 }
 
+RunMetrics bench::runCyclicBarrier(CyclicBarrierIface &B,
+                                   int64_t Generations) {
+  AUTOSYNCH_CHECK(Generations > 0, "needs generations");
+  int64_t Parties = B.parties();
+
+  std::vector<std::function<void()>> Work;
+  for (int64_t P = 0; P != Parties; ++P) {
+    Work.push_back([&B, Generations] {
+      for (int64_t G = 0; G != Generations; ++G)
+        B.await();
+    });
+  }
+  return measure(std::move(Work));
+}
+
+RunMetrics bench::runSantaClaus(SantaClausIface &S, int ReindeerThreads,
+                                int ElfThreads, int64_t Deliveries,
+                                int64_t Consultations) {
+  // A group forms only from concurrently blocked arrivals, so the thread
+  // pools must cover one full group each; arrivals are pulled from shared
+  // counters (see runH2O) so a lagging thread cannot strand the last group.
+  AUTOSYNCH_CHECK(ReindeerThreads >= S.reindeerTeam(),
+                  "need at least one reindeer team of threads");
+  AUTOSYNCH_CHECK(ElfThreads >= S.elfGroup(),
+                  "need at least one elf group of threads");
+  auto ReindeerLeft =
+      std::make_shared<std::atomic<int64_t>>(S.reindeerTeam() * Deliveries);
+  auto ElvesLeft =
+      std::make_shared<std::atomic<int64_t>>(S.elfGroup() * Consultations);
+
+  std::vector<std::function<void()>> Work;
+  Work.push_back([&S, Deliveries, Consultations] { // Santa.
+    for (int64_t I = 0; I != Deliveries + Consultations; ++I)
+      S.santa();
+  });
+  for (int T = 0; T != ReindeerThreads; ++T) {
+    Work.push_back([&S, ReindeerLeft] {
+      while (ReindeerLeft->fetch_sub(1, std::memory_order_relaxed) > 0)
+        S.reindeer();
+    });
+  }
+  for (int T = 0; T != ElfThreads; ++T) {
+    Work.push_back([&S, ElvesLeft] {
+      while (ElvesLeft->fetch_sub(1, std::memory_order_relaxed) > 0)
+        S.elf();
+    });
+  }
+  return measure(std::move(Work));
+}
+
 RunMetrics bench::runDiningPhilosophers(DiningPhilosophersIface &D,
                                         int Philosophers,
                                         int64_t TotalMeals) {

@@ -24,11 +24,13 @@
 #define AUTOSYNCH_BENCH_SUPPORT_DRIVERS_H
 
 #include "problems/BoundedBuffer.h"
+#include "problems/CyclicBarrier.h"
 #include "problems/DiningPhilosophers.h"
 #include "problems/H2O.h"
 #include "problems/ParamBoundedBuffer.h"
 #include "problems/ReadersWriters.h"
 #include "problems/RoundRobin.h"
+#include "problems/SantaClaus.h"
 #include "problems/SleepingBarber.h"
 #include "support/ProcStats.h"
 #include "sync/Counters.h"
@@ -80,6 +82,17 @@ RunMetrics runReadersWriters(ReadersWritersIface &RW, int Writers,
 /// Fig. 13: \p Philosophers threads, \p TotalMeals meals in total.
 RunMetrics runDiningPhilosophers(DiningPhilosophersIface &D,
                                  int Philosophers, int64_t TotalMeals);
+
+/// Extension: \p B's full party count of threads crossing the barrier
+/// \p Generations times each.
+RunMetrics runCyclicBarrier(CyclicBarrierIface &B, int64_t Generations);
+
+/// Extension: one Santa, \p ReindeerThreads + \p ElfThreads arrival
+/// threads pulling from shared quotas sized for \p Deliveries toy runs and
+/// \p Consultations elf meetings.
+RunMetrics runSantaClaus(SantaClausIface &S, int ReindeerThreads,
+                         int ElfThreads, int64_t Deliveries,
+                         int64_t Consultations);
 
 } // namespace autosynch::bench
 

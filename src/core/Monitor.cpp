@@ -80,10 +80,15 @@ void Monitor::waitUntilImpl(ExprRef Pred, const Env &Locals) {
   std::thread::id Me = Owner.load(std::memory_order_relaxed);
   // The wait releases the monitor lock; other threads own the monitor in
   // the meantime, so ownership is cleared here and restored when the wait
-  // returns with the lock re-held.
+  // returns with the lock re-held. Depth must be restored as well: an
+  // intervening region that fully exited leaves Depth at 0, which would
+  // misfire the nested-region check on a later waitUntil in this region
+  // (and unbalance exit()). We checked Depth == 1 above, so restoring to
+  // 1 is exact.
   Owner.store(std::thread::id(), std::memory_order_relaxed);
   Mgr.await(Pred, Locals);
   Owner.store(Me, std::memory_order_relaxed);
+  Depth = 1;
 }
 
 void Monitor::waitUntil(const ExprHandle &P) {

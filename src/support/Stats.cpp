@@ -10,6 +10,7 @@
 #include "support/Check.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 
 using namespace autosynch;
@@ -44,4 +45,58 @@ RunSummary autosynch::summarizeRuns(const std::vector<double> &Samples) {
     Var += (Sorted[I] - S.Mean) * (Sorted[I] - S.Mean);
   S.StdDev = S.Retained > 1 ? std::sqrt(Var / (S.Retained - 1)) : 0.0;
   return S;
+}
+
+size_t LatencyHistogram::bucketIndex(uint64_t V) {
+  // The first two octaves are stored exactly; above them the top
+  // SubBucketBits+1 bits of V select the bucket.
+  if (V < 2 * SubBuckets)
+    return static_cast<size_t>(V);
+  int Exp = 63 - std::countl_zero(V);
+  int Shift = Exp - SubBucketBits;
+  return static_cast<size_t>(Shift) * SubBuckets +
+         static_cast<size_t>(V >> Shift);
+}
+
+uint64_t LatencyHistogram::bucketLowerBound(size_t Index) {
+  if (Index < 2 * SubBuckets)
+    return Index;
+  size_t Shift = Index / SubBuckets - 1;
+  uint64_t Sub = Index % SubBuckets;
+  return (SubBuckets + Sub) << Shift;
+}
+
+void LatencyHistogram::record(uint64_t Nanos) {
+  ++Buckets[bucketIndex(Nanos)];
+  ++Count;
+  Sum += Nanos;
+  Min = std::min(Min, Nanos);
+  Max = std::max(Max, Nanos);
+}
+
+void LatencyHistogram::merge(const LatencyHistogram &Other) {
+  if (Other.Count == 0)
+    return;
+  for (size_t I = 0; I != NumBuckets; ++I)
+    Buckets[I] += Other.Buckets[I];
+  Count += Other.Count;
+  Sum += Other.Sum;
+  Min = std::min(Min, Other.Min);
+  Max = std::max(Max, Other.Max);
+}
+
+uint64_t LatencyHistogram::quantileNanos(double Q) const {
+  if (Count == 0)
+    return 0;
+  Q = std::clamp(Q, 0.0, 1.0);
+  uint64_t Target = static_cast<uint64_t>(
+      std::ceil(Q * static_cast<double>(Count)));
+  Target = std::max<uint64_t>(1, std::min(Target, Count));
+  uint64_t Cumulative = 0;
+  for (size_t I = 0; I != NumBuckets; ++I) {
+    Cumulative += Buckets[I];
+    if (Cumulative >= Target)
+      return std::max(bucketLowerBound(I), minNanos());
+  }
+  return maxNanos(); // Unreachable: Target <= Count.
 }

@@ -15,6 +15,7 @@
 #ifndef AUTOSYNCH_SUPPORT_STATS_H
 #define AUTOSYNCH_SUPPORT_STATS_H
 
+#include <array>
 #include <chrono>
 #include <cstdint>
 #include <vector>
@@ -35,6 +36,52 @@ struct RunSummary {
 /// With fewer than three samples nothing is dropped. Requires at least one
 /// sample.
 RunSummary summarizeRuns(const std::vector<double> &Samples);
+
+/// Log-bucketed latency histogram (HdrHistogram-style): power-of-two
+/// octaves split into 2^SubBucketBits linear sub-buckets, giving a fixed
+/// relative error of at most 1/2^SubBucketBits (~3%) over the full uint64
+/// nanosecond range with O(1) recording and a few KB of storage.
+///
+/// Recording is not thread-safe; workload workers keep one histogram each
+/// and merge() them after joining.
+class LatencyHistogram {
+public:
+  void record(uint64_t Nanos);
+
+  /// Adds every sample of \p Other into this histogram.
+  void merge(const LatencyHistogram &Other);
+
+  uint64_t count() const { return Count; }
+  uint64_t minNanos() const { return Count ? Min : 0; }
+  uint64_t maxNanos() const { return Count ? Max : 0; }
+  double meanNanos() const {
+    return Count ? static_cast<double>(Sum) / static_cast<double>(Count)
+                 : 0.0;
+  }
+
+  /// Value at quantile \p Q in [0, 1] (0.5 = p50): the lower bound of the
+  /// bucket holding the ceil(Q * count)-th smallest sample. Returns 0 on an
+  /// empty histogram.
+  uint64_t quantileNanos(double Q) const;
+
+private:
+  static constexpr int SubBucketBits = 5; // 32 sub-buckets per octave.
+  static constexpr uint64_t SubBuckets = 1ULL << SubBucketBits;
+  // Indices [0, 2*SubBuckets) are exact; each further octave adds
+  // SubBuckets buckets, up to 2^64.
+  static constexpr size_t NumBuckets =
+      (64 - SubBucketBits + 1) * SubBuckets;
+
+  static size_t bucketIndex(uint64_t V);
+  /// Smallest value mapping to bucket \p Index.
+  static uint64_t bucketLowerBound(size_t Index);
+
+  std::array<uint64_t, NumBuckets> Buckets{};
+  uint64_t Count = 0;
+  uint64_t Sum = 0;
+  uint64_t Min = ~0ULL;
+  uint64_t Max = 0;
+};
 
 /// Wall-clock stopwatch.
 class Stopwatch {

@@ -1,0 +1,145 @@
+//===- workload/Json.cpp - Minimal JSON emission ----------------------------===//
+//
+// Part of AutoSynch-C++, a reproduction of "AutoSynch: An Automatic-Signal
+// Monitor Based on Predicate Tagging" (Hung & Garg, PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "workload/Json.h"
+
+#include "support/Check.h"
+
+#include <cmath>
+#include <cstdio>
+
+using namespace autosynch;
+using namespace autosynch::workload;
+
+void JsonWriter::beforeValue() {
+  if (!Stack.empty() && Stack.back() == Scope::Object)
+    AUTOSYNCH_CHECK(PendingKey, "object member written without a key");
+  if (NeedComma && !PendingKey)
+    OS << ',';
+  PendingKey = false;
+}
+
+JsonWriter &JsonWriter::beginObject() {
+  beforeValue();
+  OS << '{';
+  Stack.push_back(Scope::Object);
+  NeedComma = false;
+  return *this;
+}
+
+JsonWriter &JsonWriter::endObject() {
+  AUTOSYNCH_CHECK(!Stack.empty() && Stack.back() == Scope::Object,
+                  "endObject outside an object");
+  AUTOSYNCH_CHECK(!PendingKey, "dangling key at endObject");
+  Stack.pop_back();
+  OS << '}';
+  NeedComma = true;
+  return *this;
+}
+
+JsonWriter &JsonWriter::beginArray() {
+  beforeValue();
+  OS << '[';
+  Stack.push_back(Scope::Array);
+  NeedComma = false;
+  return *this;
+}
+
+JsonWriter &JsonWriter::endArray() {
+  AUTOSYNCH_CHECK(!Stack.empty() && Stack.back() == Scope::Array,
+                  "endArray outside an array");
+  Stack.pop_back();
+  OS << ']';
+  NeedComma = true;
+  return *this;
+}
+
+JsonWriter &JsonWriter::key(std::string_view Name) {
+  AUTOSYNCH_CHECK(!Stack.empty() && Stack.back() == Scope::Object,
+                  "key outside an object");
+  AUTOSYNCH_CHECK(!PendingKey, "two keys in a row");
+  if (NeedComma)
+    OS << ',';
+  PendingKey = true;
+  NeedComma = false;
+  // Reuse the string escaper, then flag the pending key it cleared.
+  value(Name);
+  OS << ':';
+  PendingKey = true;
+  return *this;
+}
+
+JsonWriter &JsonWriter::value(std::string_view S) {
+  if (!PendingKey)
+    beforeValue();
+  else
+    PendingKey = false;
+  OS << '"';
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      OS << "\\\"";
+      break;
+    case '\\':
+      OS << "\\\\";
+      break;
+    case '\n':
+      OS << "\\n";
+      break;
+    case '\t':
+      OS << "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        OS << Buf;
+      } else {
+        OS << C;
+      }
+    }
+  }
+  OS << '"';
+  NeedComma = true;
+  return *this;
+}
+
+JsonWriter &JsonWriter::value(int64_t V) {
+  beforeValue();
+  OS << V;
+  NeedComma = true;
+  return *this;
+}
+
+JsonWriter &JsonWriter::value(uint64_t V) {
+  beforeValue();
+  OS << V;
+  NeedComma = true;
+  return *this;
+}
+
+JsonWriter &JsonWriter::value(double V) {
+  beforeValue();
+  // JSON has no NaN/Inf; clamp to null.
+  if (!std::isfinite(V)) {
+    OS << "null";
+  } else {
+    char Buf[64];
+    std::snprintf(Buf, sizeof(Buf), "%.6g", V);
+    OS << Buf;
+  }
+  NeedComma = true;
+  return *this;
+}
+
+JsonWriter &JsonWriter::value(bool V) {
+  beforeValue();
+  OS << (V ? "true" : "false");
+  NeedComma = true;
+  return *this;
+}
+

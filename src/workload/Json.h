@@ -1,0 +1,67 @@
+//===- workload/Json.h - Minimal JSON emission -----------------*- C++ -*-===//
+//
+// Part of AutoSynch-C++, a reproduction of "AutoSynch: An Automatic-Signal
+// Monitor Based on Predicate Tagging" (Hung & Garg, PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A tiny streaming JSON writer for the workbench's machine-readable
+/// output (BENCH_workload.json). Write-only, no dependencies; commas and
+/// nesting are tracked so call sites read like the document.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AUTOSYNCH_WORKLOAD_JSON_H
+#define AUTOSYNCH_WORKLOAD_JSON_H
+
+#include <cstdint>
+#include <ostream>
+#include <string_view>
+#include <vector>
+
+namespace autosynch::workload {
+
+/// Streaming JSON writer. The caller is responsible for well-formedness
+/// (balanced begin/end, keys only inside objects); violations are fatal in
+/// checked builds.
+class JsonWriter {
+public:
+  explicit JsonWriter(std::ostream &OS) : OS(OS) {}
+
+  JsonWriter &beginObject();
+  JsonWriter &endObject();
+  JsonWriter &beginArray();
+  JsonWriter &endArray();
+
+  /// Emits the key of the next member (objects only).
+  JsonWriter &key(std::string_view Name);
+
+  JsonWriter &value(std::string_view S);
+  JsonWriter &value(const char *S) { return value(std::string_view(S)); }
+  JsonWriter &value(int64_t V);
+  JsonWriter &value(uint64_t V);
+  JsonWriter &value(int V) { return value(static_cast<int64_t>(V)); }
+  JsonWriter &value(double V);
+  JsonWriter &value(bool V);
+
+  /// key(Name) + value(V) in one call.
+  template <typename T> JsonWriter &member(std::string_view Name, T V) {
+    key(Name);
+    return value(V);
+  }
+
+private:
+  enum class Scope : uint8_t { Object, Array };
+
+  void beforeValue();
+
+  std::ostream &OS;
+  std::vector<Scope> Stack;
+  bool NeedComma = false;
+  bool PendingKey = false;
+};
+
+} // namespace autosynch::workload
+
+#endif // AUTOSYNCH_WORKLOAD_JSON_H

@@ -1,0 +1,234 @@
+//===- workload/Scenario.cpp - Multi-monitor scenario graphs ----------------===//
+//
+// Part of AutoSynch-C++, a reproduction of "AutoSynch: An Automatic-Signal
+// Monitor Based on Predicate Tagging" (Hung & Garg, PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "workload/Scenario.h"
+
+#include "support/Check.h"
+
+#include <sstream>
+
+using namespace autosynch;
+using namespace autosynch::workload;
+
+const char *workload::stageKindName(StageKind K) {
+  switch (K) {
+  case StageKind::Source:
+    return "source";
+  case StageKind::Queue:
+    return "queue";
+  case StageKind::ReadersWriters:
+    return "readers-writers";
+  case StageKind::Barrier:
+    return "barrier";
+  case StageKind::Rotation:
+    return "rotation";
+  }
+  AUTOSYNCH_UNREACHABLE("invalid StageKind");
+}
+
+const char *workload::arrivalName(Arrival A) {
+  switch (A) {
+  case Arrival::Closed:
+    return "closed";
+  case Arrival::OpenUniform:
+    return "open-uniform";
+  case Arrival::OpenPoisson:
+    return "open-poisson";
+  }
+  AUTOSYNCH_UNREACHABLE("invalid Arrival");
+}
+
+std::string ScenarioSpec::validate() const {
+  std::ostringstream Err;
+  if (Stages.empty())
+    return "scenario has no stages";
+
+  bool HasSource = false;
+  for (size_t I = 0; I != Stages.size(); ++I) {
+    const StageSpec &S = Stages[I];
+    auto Fail = [&](const std::string &Why) {
+      Err << "stage " << I << " ('" << S.Name << "'): " << Why;
+      return Err.str();
+    };
+
+    if (S.Kind == StageKind::Source) {
+      HasSource = true;
+      if (S.Downstream.empty())
+        return Fail("a source needs at least one downstream stage");
+      if (S.RatePerSec <= 0.0 && S.Process != Arrival::Closed)
+        return Fail("open-loop sources need RatePerSec > 0");
+    } else {
+      if (S.Workers < 1)
+        return Fail("processing stages need at least one worker "
+                    "(is the Workers==0 placeholder unfilled?)");
+      if (S.Capacity < 1)
+        return Fail("input channel capacity must be >= 1");
+    }
+    if (S.Kind == StageKind::ReadersWriters &&
+        (S.ReadPercent < 0 || S.ReadPercent > 100))
+      return Fail("ReadPercent must be within [0, 100]");
+    if (S.Kind == StageKind::Barrier && S.Parties > S.Workers)
+      return Fail("barrier parties exceed the stage's workers "
+                  "(a generation could never fill)");
+
+    // Topological order doubles as the acyclicity proof: edges may only
+    // point forward.
+    for (int D : S.Downstream) {
+      if (D < 0 || static_cast<size_t>(D) >= Stages.size())
+        return Fail("downstream index out of range");
+      if (static_cast<size_t>(D) <= I)
+        return Fail("downstream edges must point to later stages");
+      if (Stages[D].Kind == StageKind::Source)
+        return Fail("a source cannot be a downstream target");
+    }
+  }
+  if (!HasSource)
+    return "scenario has no source stage";
+  return "";
+}
+
+ScenarioSpec ScenarioSpec::withWorkers(int Workers) const {
+  AUTOSYNCH_CHECK(Workers >= 1, "worker knob must be >= 1");
+  ScenarioSpec Out = *this;
+  for (StageSpec &S : Out.Stages)
+    if (S.Kind != StageKind::Source && S.Workers == 0)
+      S.Workers = Workers;
+  return Out;
+}
+
+std::vector<int64_t>
+workload::simulateTokenCounts(const ScenarioSpec &Spec,
+                              int64_t TokensPerSource) {
+  AUTOSYNCH_CHECK(TokensPerSource >= 0, "token count must be >= 0");
+  std::vector<int64_t> Counts(Spec.Stages.size(), 0);
+
+  // Token ids are globally unique: source k emits the contiguous block
+  // [k * TokensPerSource, (k+1) * TokensPerSource). Routing depends only
+  // on the id, so walking each token's path reproduces the run exactly.
+  int64_t SourceIdx = 0;
+  for (size_t S = 0; S != Spec.Stages.size(); ++S) {
+    if (Spec.Stages[S].Kind != StageKind::Source)
+      continue;
+    int64_t Base = SourceIdx * TokensPerSource;
+    ++SourceIdx;
+    Counts[S] += TokensPerSource;
+    for (int64_t T = 0; T != TokensPerSource; ++T) {
+      int64_t Id = Base + T;
+      size_t At = S;
+      while (!Spec.Stages[At].Downstream.empty()) {
+        const std::vector<int> &Down = Spec.Stages[At].Downstream;
+        At = static_cast<size_t>(
+            Down[static_cast<uint64_t>(Id) % Down.size()]);
+        ++Counts[At];
+      }
+    }
+  }
+  return Counts;
+}
+
+const std::vector<ScenarioSpec> &workload::builtinScenarios() {
+  static const std::vector<ScenarioSpec> Scenarios = [] {
+    std::vector<ScenarioSpec> V;
+
+    {
+      // The acceptance scenario: a linear 3-stage pipeline.
+      ScenarioSpec S;
+      S.Name = "pipeline";
+      S.Description =
+          "producer -> bounded-buffer queue -> readers-writers -> barrier";
+      S.Stages = {
+          {"producer", StageKind::Source, 1, 64, 90, 0, Arrival::Closed,
+           0.0, {1}},
+          {"queue", StageKind::Queue, 0, 64, 90, 0, Arrival::Closed, 0.0,
+           {2}},
+          {"rw", StageKind::ReadersWriters, 0, 64, 90, 0, Arrival::Closed,
+           0.0, {3}},
+          {"barrier", StageKind::Barrier, 0, 64, 90, 0, Arrival::Closed,
+           0.0, {}},
+      };
+      V.push_back(std::move(S));
+    }
+
+    {
+      // Fan-out: a router queue splits the stream across two RW sections
+      // with opposite read/write mixes; a barrier stage fans the branches
+      // back in.
+      ScenarioSpec S;
+      S.Name = "fanout";
+      S.Description = "source -> router -> {read-heavy RW, write-heavy RW} "
+                      "-> fan-in barrier";
+      S.Stages = {
+          {"source", StageKind::Source, 1, 64, 90, 0, Arrival::Closed, 0.0,
+           {1}},
+          {"router", StageKind::Queue, 0, 64, 90, 0, Arrival::Closed, 0.0,
+           {2, 3}},
+          {"rw-read", StageKind::ReadersWriters, 0, 64, 95, 0,
+           Arrival::Closed, 0.0, {4}},
+          {"rw-write", StageKind::ReadersWriters, 0, 64, 10, 0,
+           Arrival::Closed, 0.0, {4}},
+          {"join", StageKind::Barrier, 0, 64, 90, 0, Arrival::Closed, 0.0,
+           {}},
+      };
+      V.push_back(std::move(S));
+    }
+
+    {
+      // Fan-in: two independent sources merge into one queue, then a
+      // strict-rotation stage serializes the merged stream.
+      ScenarioSpec S;
+      S.Name = "fanin";
+      S.Description =
+          "two sources -> shared queue -> strict-rotation sink";
+      S.Stages = {
+          {"source-a", StageKind::Source, 1, 64, 90, 0, Arrival::Closed,
+           0.0, {2}},
+          {"source-b", StageKind::Source, 1, 64, 90, 0, Arrival::Closed,
+           0.0, {2}},
+          {"merge", StageKind::Queue, 0, 64, 90, 0, Arrival::Closed, 0.0,
+           {3}},
+          {"rotation", StageKind::Rotation, 0, 64, 90, 0, Arrival::Closed,
+           0.0, {}},
+      };
+      V.push_back(std::move(S));
+    }
+
+    {
+      // Mixed: fan-out into heterogeneous work (RW section vs. barrier
+      // crossing), fanned back into a serializing rotation.
+      ScenarioSpec S;
+      S.Name = "mixed";
+      S.Description = "source -> queue -> {readers-writers, barrier} -> "
+                      "rotation sink";
+      S.Stages = {
+          {"source", StageKind::Source, 1, 64, 90, 0, Arrival::Closed, 0.0,
+           {1}},
+          {"queue", StageKind::Queue, 0, 64, 90, 0, Arrival::Closed, 0.0,
+           {2, 3}},
+          {"rw", StageKind::ReadersWriters, 0, 64, 75, 0, Arrival::Closed,
+           0.0, {4}},
+          {"barrier", StageKind::Barrier, 0, 64, 90, 0, Arrival::Closed,
+           0.0, {4}},
+          {"rotation", StageKind::Rotation, 0, 64, 90, 0, Arrival::Closed,
+           0.0, {}},
+      };
+      V.push_back(std::move(S));
+    }
+
+    for (const ScenarioSpec &S : V)
+      AUTOSYNCH_CHECK(S.withWorkers(1).validate().empty(),
+                      "built-in scenario failed validation");
+    return V;
+  }();
+  return Scenarios;
+}
+
+const ScenarioSpec *workload::findScenario(std::string_view Name) {
+  for (const ScenarioSpec &S : builtinScenarios())
+    if (S.Name == Name)
+      return &S;
+  return nullptr;
+}

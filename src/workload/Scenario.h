@@ -1,0 +1,114 @@
+//===- workload/Scenario.h - Multi-monitor scenario graphs -----*- C++ -*-===//
+//
+// Part of AutoSynch-C++, a reproduction of "AutoSynch: An Automatic-Signal
+// Monitor Based on Predicate Tagging" (Hung & Garg, PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Scenario graphs: multi-stage topologies composing the problem monitors
+/// of src/problems/ into one concurrent workload. Tokens flow from source
+/// stages through bounded-buffer channels into processing stages (readers/
+/// writers sections, barrier crossings, strict-rotation admission), with
+/// fan-out (a stage routes token id % n to its n successors) and fan-in
+/// (several stages feeding one input channel).
+///
+/// Everything about a scenario is deterministic given the spec and a seed:
+/// token routing depends only on token ids, so per-stage token counts can
+/// be computed up front (simulateTokenCounts) and used as exact work
+/// quotas — no poison pills, no racy shutdown.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AUTOSYNCH_WORKLOAD_SCENARIO_H
+#define AUTOSYNCH_WORKLOAD_SCENARIO_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace autosynch::workload {
+
+/// What a stage does with each token it receives.
+enum class StageKind : uint8_t {
+  Source,         ///< Emits tokens (closed- or open-loop); one thread.
+  Queue,          ///< Pure bounded-buffer handoff; the channel is the work.
+  ReadersWriters, ///< Read or write section on a shared RW monitor.
+  Barrier,        ///< Whole-group crossing of a FIFO cyclic barrier.
+  Rotation        ///< Strict round-robin admission (total order).
+};
+
+/// Returns "source", "queue", "readers-writers", "barrier", or "rotation".
+const char *stageKindName(StageKind K);
+
+/// How a source paces token emission.
+enum class Arrival : uint8_t {
+  Closed,      ///< Emit as fast as downstream accepts (backpressure-bound).
+  OpenUniform, ///< Seeded uniform inter-arrival times around 1/rate.
+  OpenPoisson  ///< Seeded exponential inter-arrival times (Poisson stream).
+};
+
+/// Returns "closed", "open-uniform", or "open-poisson".
+const char *arrivalName(Arrival A);
+
+/// One node of the scenario graph.
+struct StageSpec {
+  std::string Name;
+  StageKind Kind = StageKind::Queue;
+
+  /// Worker threads pulling from the input channel. 0 means "filled in by
+  /// the runner's thread knob" (see ScenarioSpec::withWorkers). Sources
+  /// always run one emitter thread.
+  int Workers = 1;
+
+  /// Input-channel capacity (non-source stages).
+  int64_t Capacity = 64;
+
+  /// ReadersWriters: percentage of tokens that take the read side.
+  int ReadPercent = 90;
+
+  /// Barrier: party count; 0 means one party per worker.
+  int64_t Parties = 0;
+
+  /// Source pacing; ignored for other kinds.
+  Arrival Process = Arrival::Closed;
+  /// Open-loop mean emission rate (tokens/sec); ignored for Closed.
+  double RatePerSec = 0.0;
+
+  /// Successor stage indices. A token with id T goes to
+  /// Downstream[T % Downstream.size()]; empty marks a sink.
+  std::vector<int> Downstream;
+};
+
+/// A full scenario: stages in topological order (edges only point to
+/// higher indices).
+struct ScenarioSpec {
+  std::string Name;
+  std::string Description;
+  std::vector<StageSpec> Stages;
+
+  /// Empty when the spec is well-formed, else a description of the first
+  /// problem found (bad edges, barrier parties exceeding workers, ...).
+  std::string validate() const;
+
+  /// Copy with every Workers==0 processing stage set to \p Workers (the
+  /// thread-sweep knob).
+  ScenarioSpec withWorkers(int Workers) const;
+};
+
+/// The built-in scenario presets (pipeline, fanout, fanin, mixed).
+const std::vector<ScenarioSpec> &builtinScenarios();
+
+/// Looks up a built-in scenario by name; null when unknown.
+const ScenarioSpec *findScenario(std::string_view Name);
+
+/// Tokens each stage processes when every source emits \p TokensPerSource
+/// (routing is deterministic in token ids). Index-aligned with Stages;
+/// sources report the tokens they emit.
+std::vector<int64_t> simulateTokenCounts(const ScenarioSpec &Spec,
+                                         int64_t TokensPerSource);
+
+} // namespace autosynch::workload
+
+#endif // AUTOSYNCH_WORKLOAD_SCENARIO_H

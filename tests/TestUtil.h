@@ -19,6 +19,7 @@
 #include "expr/ExprArena.h"
 #include "expr/SymbolTable.h"
 #include "support/Rng.h"
+#include "sync/Mutex.h"
 
 #include <gtest/gtest.h>
 
@@ -109,6 +110,30 @@ template <typename MonitorT> void awaitWaiters(MonitorT &M, int N) {
     // A real sleep, not a yield: each poll takes the monitor lock and runs
     // the relay on exit, which is expensive under TSan and contends with
     // the waiter trying to park.
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
+}
+
+/// Raw-substrate analogue of awaitWaiters: blocks until \p Count — a
+/// functor evaluated while holding \p M — reaches \p N. Condition::await
+/// bumps awaitCount() under the mutex *before* parking, so once the count
+/// is observed under the lock the waiter has released it inside await();
+/// a signal issued while still holding the mutex can no longer be lost on
+/// either backend. Bounded like awaitWaiters so a regression fails fast.
+template <typename CountFn>
+void awaitParked(sync::Mutex &M, CountFn Count, int N) {
+  auto Deadline = std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  for (;;) {
+    M.lock();
+    int Parked = Count();
+    M.unlock();
+    if (Parked >= N)
+      return;
+    if (std::chrono::steady_clock::now() >= Deadline) {
+      FAIL() << "awaitParked: still " << Parked << "/" << N
+             << " parked waiters after 30s";
+      return;
+    }
     std::this_thread::sleep_for(std::chrono::microseconds(100));
   }
 }

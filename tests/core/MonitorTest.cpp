@@ -284,4 +284,36 @@ TEST(MonitorTest, EagerRegistrationIsReused) {
   EXPECT_GE(M.conditionManager().stats().CacheReuses, 1u);
 }
 
+TEST(MonitorTest, RegionDepthSurvivesBlockedWait) {
+  // Regression (found by the differential signaling oracle): a region
+  // whose waitUntil blocked resumes after other regions fully exited —
+  // which used to leave Depth at 0 and misfire the nested-region check
+  // on the region's *second* waitUntil (the sleeping barber's shape).
+  class TwoWaits : public Monitor {
+  public:
+    void rendezvous() {
+      Region R(*this);
+      waitUntil(X >= 1); // Blocks until poke(); waker fully exits.
+      waitUntil(Y >= 0); // Used to abort: Depth clobbered to 0.
+      X -= 1;
+    }
+    void poke() {
+      Region R(*this);
+      X += 1;
+    }
+    AUTOSYNCH_TEST_WAITER_PROBE()
+    using Monitor::conditionManager;
+
+  private:
+    Shared<int64_t> X{*this, "x", 0};
+    Shared<int64_t> Y{*this, "y", 0};
+  };
+  TwoWaits M;
+  std::thread W([&] { M.rendezvous(); });
+  awaitWaiters(M, 1);
+  M.poke(); // Full enter/exit while W is parked.
+  W.join();
+  EXPECT_EQ(M.conditionManager().numWaiters(), 0);
+}
+
 } // namespace

@@ -12,6 +12,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "TestUtil.h"
 #include "core/Monitor.h"
 #include "support/Rng.h"
 
@@ -63,6 +64,7 @@ public:
     return Stock.get();
   }
 
+  AUTOSYNCH_TEST_WAITER_PROBE()
   using Monitor::conditionManager;
 
 private:
@@ -183,7 +185,9 @@ TEST(MonitorLifecycleTest, DestructionWithWaitersIsFatal) {
       {
         auto *W = new Warehouse(MonitorConfig{});
         std::thread T([&] { W->withdraw(100); });
-        std::this_thread::sleep_for(std::chrono::milliseconds(30));
+        // Waiter-count probe, not a sleep: the waiter must be parked
+        // before destruction or the test would pass vacuously.
+        testutil::awaitWaiters(*W, 1);
         delete W; // A blocked waiter exists: must abort, not corrupt.
         T.join();
       },

@@ -1,0 +1,127 @@
+//===- tests/problems/CyclicBarrierTest.cpp - FIFO cyclic barrier tests -----===//
+//
+// Part of AutoSynch-C++, a reproduction of "AutoSynch: An Automatic-Signal
+// Monitor Based on Predicate Tagging" (Hung & Garg, PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ProblemTestUtil.h"
+#include "problems/CyclicBarrier.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+using namespace autosynch;
+
+namespace {
+
+class CyclicBarrierTest : public ::testing::TestWithParam<Mechanism> {};
+
+INSTANTIATE_TEST_SUITE_P(Mechanisms, CyclicBarrierTest,
+                         testutil::allMechanisms(),
+                         testutil::mechanismTestName);
+
+TEST_P(CyclicBarrierTest, SinglePartyNeverBlocks) {
+  auto B = makeCyclicBarrier(GetParam(), 1);
+  for (int I = 0; I != 10; ++I)
+    EXPECT_EQ(B->await(), 0); // Sole arrival trips every generation.
+  EXPECT_EQ(B->trips(), 10);
+  EXPECT_EQ(B->parties(), 1);
+}
+
+TEST_P(CyclicBarrierTest, GroupReleasesTogether) {
+  constexpr int Parties = 4;
+  auto B = makeCyclicBarrier(GetParam(), Parties);
+  std::atomic<int> Crossed{0};
+  std::vector<std::thread> Pool;
+  for (int P = 0; P != Parties - 1; ++P) {
+    Pool.emplace_back([&] {
+      B->await();
+      ++Crossed;
+    });
+  }
+  // An incomplete group must hold.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_EQ(Crossed.load(), 0);
+  B->await(); // Complete the group.
+  for (auto &T : Pool)
+    T.join();
+  EXPECT_EQ(Crossed.load(), Parties - 1);
+  EXPECT_EQ(B->trips(), 1);
+}
+
+TEST_P(CyclicBarrierTest, ArrivalIndicesAreFifoWithinGeneration) {
+  // Indices are handed out in monitor-entry order, so every generation
+  // must distribute 0..P-1 exactly once (each index P*Generations times
+  // overall) — the FIFO observable that survives concurrent logging.
+  constexpr int Parties = 3;
+  auto B = makeCyclicBarrier(GetParam(), Parties);
+  std::vector<std::thread> Pool;
+  std::mutex OrderMutex;
+  std::vector<int64_t> Indices;
+  constexpr int Generations = 40;
+  for (int P = 0; P != Parties; ++P) {
+    Pool.emplace_back([&] {
+      for (int G = 0; G != Generations; ++G) {
+        int64_t Index = B->await();
+        std::lock_guard<std::mutex> Lock(OrderMutex);
+        Indices.push_back(Index);
+      }
+    });
+  }
+  for (auto &T : Pool)
+    T.join();
+  EXPECT_EQ(B->trips(), Generations);
+  ASSERT_EQ(Indices.size(), static_cast<size_t>(Parties * Generations));
+  // Every generation hands out each index exactly once.
+  std::vector<int> Counts(Parties, 0);
+  for (int64_t I : Indices) {
+    ASSERT_GE(I, 0);
+    ASSERT_LT(I, Parties);
+    ++Counts[I];
+  }
+  for (int C : Counts)
+    EXPECT_EQ(C, Generations);
+}
+
+TEST_P(CyclicBarrierTest, ReusableAcrossManyGenerations) {
+  constexpr int Parties = 2;
+  constexpr int Generations = 500;
+  auto B = makeCyclicBarrier(GetParam(), Parties);
+  std::thread Other([&] {
+    for (int G = 0; G != Generations; ++G)
+      B->await();
+  });
+  for (int G = 0; G != Generations; ++G)
+    B->await();
+  Other.join();
+  EXPECT_EQ(B->trips(), Generations);
+}
+
+// TSan-clean stress: many parties, many generations, with the generation
+// count cross-checked against every thread's crossing count.
+TEST_P(CyclicBarrierTest, StressManyPartiesManyGenerations) {
+  constexpr int Parties = 8;
+  constexpr int Generations = 200;
+  auto B = makeCyclicBarrier(GetParam(), Parties);
+  std::atomic<int64_t> Crossings{0};
+  std::vector<std::thread> Pool;
+  for (int P = 0; P != Parties; ++P) {
+    Pool.emplace_back([&] {
+      for (int G = 0; G != Generations; ++G) {
+        B->await();
+        ++Crossings;
+      }
+    });
+  }
+  for (auto &T : Pool)
+    T.join();
+  EXPECT_EQ(Crossings.load(), static_cast<int64_t>(Parties) * Generations);
+  EXPECT_EQ(B->trips(), Generations);
+}
+
+} // namespace

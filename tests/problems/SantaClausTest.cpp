@@ -1,0 +1,135 @@
+//===- tests/problems/SantaClausTest.cpp - Santa Claus problem tests --------===//
+//
+// Part of AutoSynch-C++, a reproduction of "AutoSynch: An Automatic-Signal
+// Monitor Based on Predicate Tagging" (Hung & Garg, PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ProblemTestUtil.h"
+#include "problems/SantaClaus.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+using namespace autosynch;
+
+namespace {
+
+class SantaClausTest : public ::testing::TestWithParam<Mechanism> {};
+
+INSTANTIATE_TEST_SUITE_P(Mechanisms, SantaClausTest,
+                         testutil::allMechanisms(),
+                         testutil::mechanismTestName);
+
+TEST_P(SantaClausTest, DeliversWhenTeamComplete) {
+  auto S = makeSantaClaus(GetParam(), /*ReindeerTeam=*/3, /*ElfGroup=*/2);
+  std::vector<std::thread> Pool;
+  for (int I = 0; I != 3; ++I)
+    Pool.emplace_back([&] { S->reindeer(); });
+  EXPECT_EQ(S->santa(), SantaService::Toys);
+  for (auto &T : Pool)
+    T.join();
+  EXPECT_EQ(S->deliveries(), 1);
+  EXPECT_EQ(S->consultations(), 0);
+}
+
+TEST_P(SantaClausTest, ConsultsWhenElfGroupComplete) {
+  auto S = makeSantaClaus(GetParam(), /*ReindeerTeam=*/3, /*ElfGroup=*/2);
+  std::vector<std::thread> Pool;
+  for (int I = 0; I != 2; ++I)
+    Pool.emplace_back([&] { S->elf(); });
+  EXPECT_EQ(S->santa(), SantaService::Consult);
+  for (auto &T : Pool)
+    T.join();
+  EXPECT_EQ(S->deliveries(), 0);
+  EXPECT_EQ(S->consultations(), 1);
+}
+
+TEST_P(SantaClausTest, SantaSleepsUntilAGroupForms) {
+  auto S = makeSantaClaus(GetParam(), /*ReindeerTeam=*/2, /*ElfGroup=*/2);
+  std::atomic<bool> Served{false};
+  std::thread Santa([&] {
+    S->santa();
+    Served = true;
+  });
+  // One reindeer and one elf: neither group is complete.
+  std::thread R([&] { S->reindeer(); });
+  std::thread E1([&] { S->elf(); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(Served.load());
+  std::thread E2([&] { S->elf(); }); // Completes the elf group.
+  Santa.join();
+  EXPECT_TRUE(Served.load());
+  EXPECT_EQ(S->consultations(), 1);
+  E1.join();
+  E2.join();
+  // Release the lone reindeer with a second one and a final delivery.
+  std::thread R2([&] { S->reindeer(); });
+  EXPECT_EQ(S->santa(), SantaService::Toys);
+  R.join();
+  R2.join();
+  EXPECT_EQ(S->deliveries(), 1);
+}
+
+TEST_P(SantaClausTest, ReindeerHavePriorityOverElves) {
+  auto S = makeSantaClaus(GetParam(), /*ReindeerTeam=*/2, /*ElfGroup=*/2);
+  // Both groups are ready before Santa looks.
+  std::vector<std::thread> Pool;
+  for (int I = 0; I != 2; ++I)
+    Pool.emplace_back([&] { S->reindeer(); });
+  for (int I = 0; I != 2; ++I)
+    Pool.emplace_back([&] { S->elf(); });
+  // Poll the waiting counts (not a sleep) until both groups are fully
+  // registered; only then is "reindeer first" a hard guarantee.
+  auto Deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (S->reindeerWaiting() < 2 || S->elvesWaiting() < 2) {
+    ASSERT_LT(std::chrono::steady_clock::now(), Deadline)
+        << "arrivals never registered";
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
+  EXPECT_EQ(S->santa(), SantaService::Toys);
+  EXPECT_EQ(S->santa(), SantaService::Consult);
+  for (auto &T : Pool)
+    T.join();
+  EXPECT_EQ(S->deliveries(), 1);
+  EXPECT_EQ(S->consultations(), 1);
+}
+
+// TSan-clean stress: full classic configuration (9 reindeer, 3-elf
+// groups) under concurrent arrivals, with conservation oracles.
+TEST_P(SantaClausTest, StressConservesGroupAccounting) {
+  constexpr int64_t Deliveries = 40;
+  constexpr int64_t Consultations = 120;
+  auto S = makeSantaClaus(GetParam());
+
+  auto ReindeerLeft = std::atomic<int64_t>(9 * Deliveries);
+  auto ElvesLeft = std::atomic<int64_t>(3 * Consultations);
+  std::vector<std::thread> Pool;
+  Pool.emplace_back([&] {
+    for (int64_t I = 0; I != Deliveries + Consultations; ++I)
+      S->santa();
+  });
+  for (int T = 0; T != 9; ++T) {
+    Pool.emplace_back([&] {
+      while (ReindeerLeft.fetch_sub(1) > 0)
+        S->reindeer();
+    });
+  }
+  for (int T = 0; T != 6; ++T) {
+    Pool.emplace_back([&] {
+      while (ElvesLeft.fetch_sub(1) > 0)
+        S->elf();
+    });
+  }
+  for (auto &T : Pool)
+    T.join();
+
+  EXPECT_EQ(S->deliveries(), Deliveries);
+  EXPECT_EQ(S->consultations(), Consultations);
+}
+
+} // namespace

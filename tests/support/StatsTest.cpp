@@ -5,9 +5,14 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "TestUtil.h"
+#include "support/Rng.h"
 #include "support/Stats.h"
 
 #include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
 
 using namespace autosynch;
 
@@ -66,4 +71,94 @@ TEST(StatsTest, StopwatchRestartResets) {
   uint64_t First = W.nanos();
   W.restart();
   EXPECT_LE(W.nanos(), First + 1000000); // Fresh epoch, allow 1ms slack.
+}
+
+TEST(LatencyHistogramTest, EmptyHistogramReportsZeros) {
+  LatencyHistogram H;
+  EXPECT_EQ(H.count(), 0u);
+  EXPECT_EQ(H.minNanos(), 0u);
+  EXPECT_EQ(H.maxNanos(), 0u);
+  EXPECT_DOUBLE_EQ(H.meanNanos(), 0.0);
+  EXPECT_EQ(H.quantileNanos(0.5), 0u);
+}
+
+TEST(LatencyHistogramTest, SingleSampleIsEveryQuantile) {
+  LatencyHistogram H;
+  H.record(12345);
+  EXPECT_EQ(H.count(), 1u);
+  EXPECT_EQ(H.minNanos(), 12345u);
+  EXPECT_EQ(H.maxNanos(), 12345u);
+  EXPECT_DOUBLE_EQ(H.meanNanos(), 12345.0);
+  // 12345 lands in a log bucket; the reported quantile is the bucket's
+  // lower bound, within the histogram's ~3% relative error.
+  for (double Q : {0.0, 0.5, 0.99, 1.0}) {
+    uint64_t V = H.quantileNanos(Q);
+    EXPECT_LE(V, 12345u);
+    EXPECT_GE(V, 12345u - 12345u / 16);
+  }
+}
+
+TEST(LatencyHistogramTest, SmallValuesAreExact) {
+  // The first two octaves (values < 64) are stored exactly.
+  LatencyHistogram H;
+  for (uint64_t V = 0; V != 64; ++V)
+    H.record(V);
+  EXPECT_EQ(H.quantileNanos(1.0 / 64), 0u);
+  EXPECT_EQ(H.quantileNanos(0.5), 31u);
+  EXPECT_EQ(H.quantileNanos(1.0), 63u);
+}
+
+TEST(LatencyHistogramTest, QuantilesWithinRelativeErrorOfOracle) {
+  AUTOSYNCH_SEEDED_RNG(R, 4242);
+  LatencyHistogram H;
+  std::vector<uint64_t> Samples;
+  for (int I = 0; I != 20000; ++I) {
+    // Mix of magnitudes: ns to tens of seconds.
+    uint64_t V = R.next() >> (R.range(20, 60));
+    Samples.push_back(V);
+    H.record(V);
+  }
+  std::sort(Samples.begin(), Samples.end());
+  for (double Q : {0.5, 0.9, 0.95, 0.99}) {
+    size_t Rank = static_cast<size_t>(
+        std::ceil(Q * static_cast<double>(Samples.size())));
+    uint64_t Oracle = Samples[std::min(Rank, Samples.size()) - 1];
+    uint64_t Got = H.quantileNanos(Q);
+    // Bucket lower bound: never above the oracle, never further below
+    // than one sub-bucket (1/32 relative).
+    EXPECT_LE(Got, Oracle) << "q=" << Q;
+    EXPECT_GE(Got, Oracle - Oracle / 16 - 1) << "q=" << Q;
+  }
+}
+
+TEST(LatencyHistogramTest, MergeMatchesCombinedRecording) {
+  AUTOSYNCH_SEEDED_RNG(R, 99);
+  LatencyHistogram A, B, Combined;
+  for (int I = 0; I != 5000; ++I) {
+    uint64_t V = R.next() >> 40;
+    if (I % 2) {
+      A.record(V);
+    } else {
+      B.record(V);
+    }
+    Combined.record(V);
+  }
+  A.merge(B);
+  EXPECT_EQ(A.count(), Combined.count());
+  EXPECT_EQ(A.minNanos(), Combined.minNanos());
+  EXPECT_EQ(A.maxNanos(), Combined.maxNanos());
+  EXPECT_DOUBLE_EQ(A.meanNanos(), Combined.meanNanos());
+  for (double Q : {0.25, 0.5, 0.95, 0.99})
+    EXPECT_EQ(A.quantileNanos(Q), Combined.quantileNanos(Q)) << "q=" << Q;
+}
+
+TEST(LatencyHistogramTest, ExtremeValuesDoNotOverflowBuckets) {
+  LatencyHistogram H;
+  H.record(0);
+  H.record(~0ULL);
+  EXPECT_EQ(H.count(), 2u);
+  EXPECT_EQ(H.minNanos(), 0u);
+  EXPECT_EQ(H.maxNanos(), ~0ULL);
+  EXPECT_EQ(H.quantileNanos(0.5), 0u);
+  EXPECT_GT(H.quantileNanos(1.0), ~0ULL - (~0ULL >> 5));
 }

@@ -12,6 +12,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "TestUtil.h"
 #include "sync/Mutex.h"
 
 #include <gtest/gtest.h>
@@ -54,7 +55,18 @@ TEST_P(ConditionStressTest, TargetedSignalsWakeOnlyTheirCondition) {
     });
   }
 
-  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  // Every waiter must be parked before the release pattern starts, or an
+  // early signal could race a waiter still acquiring the mutex; poll the
+  // per-condition await counts instead of sleeping (PR-1 deflaking).
+  testutil::awaitParked(
+      M,
+      [&] {
+        int Parked = 0;
+        for (const auto &C : Conds)
+          Parked += C->awaitCount() >= 1;
+        return Parked;
+      },
+      N);
   // Release even-numbered waiters first, then odd.
   std::vector<int> Expected;
   for (int Pass = 0; Pass != 2; ++Pass) {

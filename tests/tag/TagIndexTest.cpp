@@ -180,6 +180,133 @@ TEST_F(TagIndexTest, DoubleAddToNoneListIsFatal) {
   EXPECT_DEATH(Index.add(R->Tags.front(), R), "already in the None list");
 }
 
+TEST_F(TagIndexTest, DoubleRemoveFromNoneListIsFatal) {
+  StubRecord *R = addPredicate("x != 9");
+  removeRecord(R);
+  EXPECT_DEATH(Index.remove(R->Tags.front(), R), "not in the None list");
+}
+
+TEST_F(TagIndexTest, NoneListSwapRemoveKeepsOthersFindable) {
+  // The None list removes by swap-with-back; removing a middle record
+  // must keep every other record's position index coherent.
+  StubRecord *A = addPredicate("x != 1");
+  StubRecord *B = addPredicate("x != 2");
+  StubRecord *C = addPredicate("x != 3");
+  EXPECT_EQ(Index.noneListSize(), 3u);
+  removeRecord(B); // Middle: C is swapped into B's slot.
+  EXPECT_EQ(Index.noneListSize(), 2u);
+  EXPECT_EQ(find(state(1)), C);    // x != 3 and x != 2 hold; A (x != 1) not.
+  removeRecord(C);
+  EXPECT_EQ(find(state(3)), A);
+  removeRecord(A);
+  EXPECT_TRUE(Index.empty());
+  EXPECT_EQ(find(state(0)), nullptr); // Empty-index findTrue.
+}
+
+TEST_F(TagIndexTest, RetaggingARegisteredRecord) {
+  // A record's predicate is replaced (the condition manager reuses parked
+  // records, §5.2): all old tags must come out, the new ones go in, and
+  // only the new predicate is findable afterwards.
+  StubRecord *R = addPredicate("x >= 5");
+  EXPECT_EQ(find(state(8)), R);
+
+  removeRecord(R);
+  PredicateParseResult PR = parsePredicate("x == 7", A, V.Syms);
+  ASSERT_TRUE(PR.ok());
+  CanonicalPredicate CP = canonicalizePredicate(A, PR.Expr);
+  R->Pred = CP.Expr;
+  R->Tags = deriveTags(A, CP.D, V.Syms);
+  for (const Tag &T : R->Tags)
+    Index.add(T, R);
+
+  EXPECT_EQ(find(state(7)), R);
+  EXPECT_EQ(find(state(8)), nullptr); // Old threshold tag is gone.
+  removeRecord(R);
+  EXPECT_TRUE(Index.empty());
+}
+
+TEST_F(TagIndexTest, EqualThresholdsFromDistinctPredicates) {
+  // Two predicates sharing the tag key (x, 5, >=) plus one strict (x, 5, >):
+  // equal-key nodes must coexist and removals must not disturb each other.
+  StubRecord *GeA = addPredicate("x >= 5 && y >= 0");
+  StubRecord *GeB = addPredicate("x >= 5 && z >= 0");
+  StubRecord *Gt = addPredicate("x > 5");
+
+  // x == 5: only the non-strict bucket can be true.
+  StubRecord *AtFive = find(state(5, /*Y=*/1, /*Z=*/-1));
+  EXPECT_EQ(AtFive, GeA);
+  removeRecord(GeA);
+  EXPECT_EQ(find(state(5, /*Y=*/-1, /*Z=*/1)), GeB);
+  removeRecord(GeB);
+  EXPECT_EQ(find(state(5, 1, 1)), nullptr); // Only x > 5 remains: false.
+  EXPECT_EQ(find(state(6, 1, 1)), Gt);
+  removeRecord(Gt);
+  EXPECT_TRUE(Index.empty());
+}
+
+TEST_F(TagIndexTest, RandomizedAddRemoveChurnStaysConsistent) {
+  // Property: after any interleaving of adds and removes, findTrue agrees
+  // with a brute-force oracle over the records currently registered, and
+  // a fully drained index is empty.
+  AUTOSYNCH_SEEDED_RNG(R, 555);
+  const char *Pool[] = {"x == 2",  "x == -3", "x >= 4",  "x >= 4 && y >= 1",
+                        "x > -2",  "x <= 0",  "x < -5",  "x != 7",
+                        "x != -1", "flag",    "x + y == 3"};
+  constexpr int PoolSize = static_cast<int>(sizeof(Pool) / sizeof(Pool[0]));
+
+  for (int Round = 0; Round != 20; ++Round) {
+    TagIndex<StubRecord> LocalIndex;
+    std::vector<std::unique_ptr<StubRecord>> Owned;
+    std::vector<StubRecord *> Registered;
+
+    for (int Step = 0; Step != 60; ++Step) {
+      if (Registered.empty() || R.chance(3, 5)) {
+        const char *Src = Pool[R.range(0, PoolSize - 1)];
+        PredicateParseResult PR = parsePredicate(Src, A, V.Syms);
+        ASSERT_TRUE(PR.ok()) << Src;
+        CanonicalPredicate CP = canonicalizePredicate(A, PR.Expr);
+        auto Rec = std::make_unique<StubRecord>();
+        Rec->Pred = CP.Expr;
+        Rec->Tags = deriveTags(A, CP.D, V.Syms);
+        for (const Tag &T : Rec->Tags)
+          LocalIndex.add(T, Rec.get());
+        Registered.push_back(Rec.get());
+        Owned.push_back(std::move(Rec));
+      } else {
+        size_t Victim =
+            static_cast<size_t>(R.range(0, Registered.size() - 1));
+        StubRecord *Rec = Registered[Victim];
+        for (const Tag &T : Rec->Tags)
+          LocalIndex.remove(T, Rec);
+        Registered[Victim] = Registered.back();
+        Registered.pop_back();
+      }
+
+      MapEnv State = state(R.range(-8, 8), R.range(-8, 8), R.range(-8, 8),
+                           R.chance(1, 2));
+      bool OracleHasTrue = false;
+      for (StubRecord *Rec : Registered)
+        OracleHasTrue |= evalBool(Rec->Pred, State);
+      StubRecord *Found = LocalIndex.findTrue(
+          [&](ExprRef E) { return eval(E, State).raw(); },
+          [&](StubRecord *Rec) { return evalBool(Rec->Pred, State); });
+      ASSERT_EQ(Found != nullptr, OracleHasTrue)
+          << "round " << Round << " step " << Step;
+      if (Found)
+        ASSERT_TRUE(evalBool(Found->Pred, State));
+    }
+
+    // Drain: the index must come back exactly empty.
+    for (StubRecord *Rec : Registered)
+      for (const Tag &T : Rec->Tags)
+        LocalIndex.remove(T, Rec);
+    EXPECT_TRUE(LocalIndex.empty()) << "round " << Round;
+    EXPECT_EQ(LocalIndex.findTrue([](ExprRef) { return int64_t{0}; },
+                                  [](StubRecord *) { return true; }),
+              nullptr);
+  }
+}
+
 TEST_F(TagIndexTest, RandomizedSoundnessAndCompleteness) {
   // The relay-invariance-critical property: findTrue returns a record iff
   // some registered predicate is true, and the returned record's predicate

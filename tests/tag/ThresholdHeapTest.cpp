@@ -162,6 +162,62 @@ TEST(ThresholdHeapTest, EmptiedNodeRemovedEagerly) {
   EXPECT_TRUE(H.empty());
 }
 
+TEST(ThresholdHeapTest, DuplicateAddOfSameRecordUnderSameTag) {
+  // The same record may be registered twice under one tag (two waiters on
+  // one predicate record is modeled upstream, but the heap itself must
+  // tolerate duplicates symmetrically): each add needs a matching remove.
+  Heap H(Heap::Direction::LowerBound);
+  StubRecord A{1, true};
+  H.add(5, false, &A);
+  H.add(5, false, &A);
+  EXPECT_EQ(H.numNodes(), 1u); // One (key, strictness) node.
+  EXPECT_EQ(H.search(9, [](StubRecord *R) { return R->Truth; }), &A);
+  H.remove(5, false, &A);
+  EXPECT_EQ(H.numNodes(), 1u); // One registration left.
+  EXPECT_EQ(H.search(9, [](StubRecord *R) { return R->Truth; }), &A);
+  H.remove(5, false, &A);
+  EXPECT_TRUE(H.empty());
+  EXPECT_EQ(H.search(9, [](StubRecord *R) { return R->Truth; }), nullptr);
+}
+
+TEST(ThresholdHeapTest, EqualKeysKeepDistinctStrictnessNodes) {
+  // (5, >=) and (5, >) are distinct nodes; removing one must not disturb
+  // the other, in either removal order.
+  for (bool RemoveStrictFirst : {false, true}) {
+    Heap H(Heap::Direction::LowerBound);
+    StubRecord Ge{1, true}, Gt{2, true};
+    H.add(5, false, &Ge);
+    H.add(5, true, &Gt);
+    EXPECT_EQ(H.numNodes(), 2u);
+    if (RemoveStrictFirst) {
+      H.remove(5, true, &Gt);
+      // x == 5: the surviving non-strict tag is true.
+      EXPECT_EQ(H.search(5, [](StubRecord *R) { return R->Truth; }), &Ge);
+    } else {
+      H.remove(5, false, &Ge);
+      // x == 5: only (5, >) remains and it is false at 5.
+      EXPECT_EQ(H.search(5, [](StubRecord *R) { return R->Truth; }),
+                nullptr);
+      EXPECT_EQ(H.search(6, [](StubRecord *R) { return R->Truth; }), &Gt);
+    }
+  }
+}
+
+TEST(ThresholdHeapTest, EqualKeyTemporaryRemovalReachesStrictTwin) {
+  // Both (3, >=) and (3, >) are true at x = 4; if the non-strict node's
+  // records are all false the Fig. 4 loop must pop it and examine the
+  // strict twin, then restore the heap.
+  Heap H(Heap::Direction::LowerBound);
+  StubRecord GeFalse{1, false}, GtTrue{2, true};
+  H.add(3, false, &GeFalse);
+  H.add(3, true, &GtTrue);
+  EXPECT_EQ(H.search(4, [](StubRecord *R) { return R->Truth; }), &GtTrue);
+  // Restored: both nodes still present and orderable.
+  EXPECT_EQ(H.numNodes(), 2u);
+  GeFalse.Truth = true;
+  EXPECT_EQ(H.search(3, [](StubRecord *R) { return R->Truth; }), &GeFalse);
+}
+
 TEST(ThresholdHeapTest, RandomizedAgainstBruteForceOracle) {
   // Soundness: any returned record's tag and predicate are true.
   // Completeness: when the oracle finds some true-tag true-record, the

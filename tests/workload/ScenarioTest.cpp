@@ -1,0 +1,256 @@
+//===- tests/workload/ScenarioTest.cpp - Scenario graph + engine tests ------===//
+//
+// Part of AutoSynch-C++, a reproduction of "AutoSynch: An Automatic-Signal
+// Monitor Based on Predicate Tagging" (Hung & Garg, PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+//
+// Spec validation, deterministic token-flow simulation, and whole-engine
+// runs of every built-in scenario across mechanisms: token conservation,
+// histogram bookkeeping, and relay cleanliness (no signalAll outside the
+// Broadcast policy). The engine runs are the first tests that exercise
+// several automatic-signal monitors concurrently in one process.
+//
+//===----------------------------------------------------------------------===//
+
+#include "../problems/ProblemTestUtil.h"
+#include "workload/Engine.h"
+#include "workload/Json.h"
+#include "workload/Scenario.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+#include <sstream>
+
+using namespace autosynch;
+using namespace autosynch::workload;
+
+namespace {
+
+TEST(ScenarioSpecTest, BuiltinsValidateAndAreFindable) {
+  ASSERT_FALSE(builtinScenarios().empty());
+  for (const ScenarioSpec &S : builtinScenarios()) {
+    EXPECT_EQ(findScenario(S.Name), &S);
+    EXPECT_EQ(S.withWorkers(3).validate(), "");
+  }
+  EXPECT_EQ(findScenario("no-such-scenario"), nullptr);
+}
+
+TEST(ScenarioSpecTest, ValidationRejectsMalformedGraphs) {
+  ScenarioSpec S;
+  EXPECT_NE(S.validate(), ""); // No stages.
+
+  // No source.
+  S.Stages = {{"q", StageKind::Queue, 1, 4, 90, 0, Arrival::Closed, 0.0,
+               {}}};
+  EXPECT_NE(S.validate(), "");
+
+  // Source without downstream.
+  S.Stages = {{"src", StageKind::Source, 1, 4, 90, 0, Arrival::Closed, 0.0,
+               {}}};
+  EXPECT_NE(S.validate(), "");
+
+  // Backward edge.
+  S.Stages = {{"src", StageKind::Source, 1, 4, 90, 0, Arrival::Closed, 0.0,
+               {1}},
+              {"q", StageKind::Queue, 1, 4, 90, 0, Arrival::Closed, 0.0,
+               {1}}};
+  EXPECT_NE(S.validate(), "");
+
+  // Barrier parties exceeding workers could never fill a generation.
+  S.Stages = {{"src", StageKind::Source, 1, 4, 90, 0, Arrival::Closed, 0.0,
+               {1}},
+              {"b", StageKind::Barrier, 2, 4, 90, 5, Arrival::Closed, 0.0,
+               {}}};
+  EXPECT_NE(S.validate(), "");
+
+  // Unfilled Workers==0 placeholder.
+  S.Stages = {{"src", StageKind::Source, 1, 4, 90, 0, Arrival::Closed, 0.0,
+               {1}},
+              {"q", StageKind::Queue, 0, 4, 90, 0, Arrival::Closed, 0.0,
+               {}}};
+  EXPECT_NE(S.validate(), "");
+  EXPECT_EQ(S.withWorkers(2).validate(), "");
+}
+
+TEST(ScenarioSpecTest, TokenSimulationSplitsFanOutByResidue) {
+  ScenarioSpec S;
+  S.Stages = {{"src", StageKind::Source, 1, 4, 90, 0, Arrival::Closed, 0.0,
+               {1}},
+              {"router", StageKind::Queue, 1, 4, 90, 0, Arrival::Closed,
+               0.0, {2, 3}},
+              {"even", StageKind::Queue, 1, 4, 90, 0, Arrival::Closed, 0.0,
+               {4}},
+              {"odd", StageKind::Queue, 1, 4, 90, 0, Arrival::Closed, 0.0,
+               {4}},
+              {"join", StageKind::Queue, 1, 4, 90, 0, Arrival::Closed, 0.0,
+               {}}};
+  ASSERT_EQ(S.validate(), "");
+  std::vector<int64_t> Counts = simulateTokenCounts(S, 101);
+  EXPECT_EQ(Counts, (std::vector<int64_t>{101, 101, 51, 50, 101}));
+}
+
+TEST(ScenarioSpecTest, TwoSourcesEmitDistinctIdBlocks) {
+  const ScenarioSpec *Fanin = findScenario("fanin");
+  ASSERT_NE(Fanin, nullptr);
+  std::vector<int64_t> Counts = simulateTokenCounts(*Fanin, 40);
+  // Both sources emit 40; the merge queue and the sink see all 80.
+  EXPECT_EQ(Counts[0], 40);
+  EXPECT_EQ(Counts[1], 40);
+  EXPECT_EQ(Counts[2], 80);
+  EXPECT_EQ(Counts[3], 80);
+}
+
+class ScenarioEngineTest : public ::testing::TestWithParam<Mechanism> {};
+
+INSTANTIATE_TEST_SUITE_P(Mechanisms, ScenarioEngineTest,
+                         testutil::allMechanisms(),
+                         testutil::mechanismTestName);
+
+TEST_P(ScenarioEngineTest, PipelineConservesTokens) {
+  RunConfig Cfg;
+  Cfg.Mech = GetParam();
+  Cfg.TokensPerSource = 600;
+  ScenarioReport R =
+      runScenario(findScenario("pipeline")->withWorkers(3), Cfg);
+
+  EXPECT_EQ(R.TotalTokens, 600);
+  ASSERT_EQ(R.Stages.size(), 4u);
+  for (const StageReport &S : R.Stages) {
+    EXPECT_EQ(S.Tokens, 600) << S.Name;
+    if (S.Kind != StageKind::Source) {
+      // Every token's stage sojourn was recorded.
+      EXPECT_EQ(S.Latency.count(), 600u) << S.Name;
+      EXPECT_GT(S.Throughput, 0.0) << S.Name;
+    }
+  }
+  // Every token reached the sink and got an end-to-end sample.
+  EXPECT_EQ(R.EndToEnd.count(), 600u);
+  EXPECT_LE(R.EndToEnd.quantileNanos(0.50),
+            R.EndToEnd.quantileNanos(0.99));
+  EXPECT_GT(R.WallSeconds, 0.0);
+}
+
+TEST_P(ScenarioEngineTest, EveryBuiltinScenarioDrains) {
+  for (const ScenarioSpec &S : builtinScenarios()) {
+    RunConfig Cfg;
+    Cfg.Mech = GetParam();
+    Cfg.TokensPerSource = 240;
+    ScenarioReport R = runScenario(S.withWorkers(2), Cfg);
+    std::vector<int64_t> Counts = simulateTokenCounts(S, 240);
+    ASSERT_EQ(R.Stages.size(), Counts.size()) << S.Name;
+    int64_t SinkTokens = 0;
+    for (size_t I = 0; I != Counts.size(); ++I) {
+      EXPECT_EQ(R.Stages[I].Tokens, Counts[I])
+          << S.Name << "/" << R.Stages[I].Name;
+      if (S.Stages[I].Downstream.empty() &&
+          S.Stages[I].Kind != StageKind::Source)
+        SinkTokens += Counts[I];
+    }
+    EXPECT_EQ(R.EndToEnd.count(), static_cast<uint64_t>(SinkTokens))
+        << S.Name;
+  }
+}
+
+TEST_P(ScenarioEngineTest, AutomaticPoliciesNeverBroadcast) {
+  if (GetParam() == Mechanism::Baseline || GetParam() == Mechanism::Explicit)
+    GTEST_SKIP() << "broadcast/explicit signaling is allowed here";
+  RunConfig Cfg;
+  Cfg.Mech = GetParam();
+  Cfg.TokensPerSource = 300;
+  ScenarioReport R =
+      runScenario(findScenario("mixed")->withWorkers(3), Cfg);
+  // Relay invariance across a whole multi-monitor scenario: the AutoSynch
+  // policies must never fall back to signalAll.
+  EXPECT_EQ(R.Sync.SignalAlls, 0u);
+}
+
+TEST(ScenarioEngineTest2, ReadWriteSplitIsSeedDeterministic) {
+  // The seed-sensitive observable: the RW stage's read/write split is a
+  // pure function of (seed, token id), so the same seed must reproduce it
+  // exactly across runs (and scheduling), and varying the seed must be
+  // able to change it — the property the differential oracle depends on.
+  const ScenarioSpec Sized = findScenario("pipeline")->withWorkers(2);
+  auto SplitFor = [&](uint64_t Seed) {
+    RunConfig Cfg;
+    Cfg.TokensPerSource = 400;
+    Cfg.Seed = Seed;
+    ScenarioReport R = runScenario(Sized, Cfg);
+    const StageReport &RW = R.Stages[2];
+    EXPECT_EQ(RW.Kind, StageKind::ReadersWriters);
+    EXPECT_EQ(RW.Reads + RW.Writes, RW.Tokens);
+    return std::pair<int64_t, int64_t>(RW.Reads, RW.Writes);
+  };
+
+  EXPECT_EQ(SplitFor(7), SplitFor(7)); // Same seed: identical split.
+
+  // Different seeds: the split must actually move. One collision is
+  // plausible (binomial), five identical splits across distinct seeds is
+  // not — unless the engine ignores the seed.
+  std::set<std::pair<int64_t, int64_t>> Splits;
+  for (uint64_t Seed : {1u, 2u, 3u, 4u, 5u})
+    Splits.insert(SplitFor(Seed));
+  EXPECT_GT(Splits.size(), 1u);
+}
+
+TEST(ScenarioEngineTest2, OpenLoopArrivalsDrainCompletely) {
+  RunConfig Cfg;
+  Cfg.TokensPerSource = 200;
+  Cfg.OverrideArrival = true;
+  Cfg.Process = Arrival::OpenPoisson;
+  Cfg.RatePerSec = 200000.0;
+  Cfg.Seed = 7;
+  ScenarioReport R =
+      runScenario(findScenario("pipeline")->withWorkers(2), Cfg);
+  EXPECT_EQ(R.EndToEnd.count(), 200u);
+}
+
+TEST(ScenarioEngineTest2, FutexBackendRunsThePipeline) {
+  RunConfig Cfg;
+  Cfg.Backend = sync::Backend::Futex;
+  Cfg.TokensPerSource = 300;
+  ScenarioReport R =
+      runScenario(findScenario("pipeline")->withWorkers(2), Cfg);
+  EXPECT_EQ(R.EndToEnd.count(), 300u);
+}
+
+TEST(WorkloadJsonTest, WriterEscapesAndNests) {
+  std::ostringstream OS;
+  JsonWriter J(OS);
+  J.beginObject()
+      .member("s", "a\"b\\c\nd")
+      .member("i", int64_t{-3})
+      .member("u", uint64_t{5})
+      .member("d", 1.5)
+      .member("b", true);
+  J.key("arr");
+  J.beginArray().value(int64_t{1}).value("two").beginObject().endObject();
+  J.endArray();
+  J.endObject();
+  EXPECT_EQ(OS.str(), "{\"s\":\"a\\\"b\\\\c\\nd\",\"i\":-3,\"u\":5,"
+                      "\"d\":1.5,\"b\":true,\"arr\":[1,\"two\",{}]}");
+}
+
+TEST(WorkloadJsonTest, ReportRoundTripsThroughWriter) {
+  RunConfig Cfg;
+  Cfg.TokensPerSource = 120;
+  ScenarioReport R =
+      runScenario(findScenario("pipeline")->withWorkers(2), Cfg);
+  std::ostringstream OS;
+  writeReportJson(R, OS);
+  std::string S = OS.str();
+  // Structural spot checks (no JSON parser in tree): balanced braces and
+  // the documented members present.
+  EXPECT_EQ(std::count(S.begin(), S.end(), '{'),
+            std::count(S.begin(), S.end(), '}'));
+  EXPECT_NE(S.find("\"scenario\":\"pipeline\""), std::string::npos);
+  EXPECT_NE(S.find("\"end_to_end_ns\""), std::string::npos);
+  EXPECT_NE(S.find("\"p99\""), std::string::npos);
+  EXPECT_NE(S.find("\"stages\":["), std::string::npos);
+  EXPECT_NE(S.find("\"throughput_tokens_per_sec\""), std::string::npos);
+}
+
+} // namespace
