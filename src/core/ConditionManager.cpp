@@ -9,6 +9,7 @@
 
 #include "expr/Eval.h"
 #include "expr/Subst.h"
+#include "plan/PlanCache.h"
 
 using namespace autosynch;
 
@@ -27,11 +28,28 @@ const char *autosynch::signalPolicyName(SignalPolicy P) {
 ConditionManager::ConditionManager(sync::Mutex &MonitorLock,
                                    ExprArena &Arena, SymbolTable &Syms,
                                    const Env &SharedEnv,
+                                   const std::vector<Value> &Slots,
                                    const MonitorConfig &Cfg)
     : MonitorLock(MonitorLock), Arena(Arena), Syms(Syms),
-      SharedEnv(SharedEnv), Cfg(Cfg), Timers(Cfg.EnablePhaseTimers) {
+      SharedEnv(SharedEnv), Slots(Slots), Cfg(Cfg),
+      Timers(Cfg.EnablePhaseTimers) {
   if (Cfg.Policy == SignalPolicy::Broadcast)
     BroadcastCond = MonitorLock.newCondition();
+}
+
+size_t ConditionManager::SigHash::hash(const SigEntry *P, size_t N) {
+  // FNV-1a over the entry fields.
+  uint64_t H = 1469598103934665603ull;
+  auto Mix = [&H](uint64_t V) {
+    H ^= V;
+    H *= 1099511628211ull;
+  };
+  for (size_t I = 0; I != N; ++I) {
+    Mix(reinterpret_cast<uintptr_t>(P[I].P));
+    Mix(P[I].Tag);
+    Mix(static_cast<uint64_t>(P[I].K));
+  }
+  return static_cast<size_t>(H);
 }
 
 ConditionManager::~ConditionManager() {
@@ -44,8 +62,10 @@ ConditionManager::~ConditionManager() {
 //===----------------------------------------------------------------------===//
 
 bool ConditionManager::recordTrue(Record *R) {
-  if (Cfg.UseCompiledEval)
-    return R->Code.runBool(SharedEnv);
+  // Slot programs read the monitor's shared state straight out of the
+  // backing array — no virtual Env dispatch on the relay hot path.
+  if (R->Code.valid())
+    return R->Code.runRawBool(Slots.data(), nullptr);
   return evalBool(R->Canonical, SharedEnv);
 }
 
@@ -53,23 +73,38 @@ bool ConditionManager::recordTrue(Record *R) {
 // Registration, activation, and the inactive cache (§5.2)
 //===----------------------------------------------------------------------===//
 
+ConditionManager::Record *ConditionManager::lookupExisting(ExprRef Canonical) {
+  auto It = Table.find(Canonical);
+  if (It == Table.end())
+    return nullptr;
+  if (!It->second->Active)
+    ++Stats.CacheReuses;
+  return It->second.get();
+}
+
 ConditionManager::Record *
 ConditionManager::lookupOrRegister(ExprRef Canonical, Dnf D) {
-  auto It = Table.find(Canonical);
-  if (It != Table.end()) {
-    if (!It->second->Active)
-      ++Stats.CacheReuses;
-    return It->second.get();
-  }
+  if (Record *Existing = lookupExisting(Canonical))
+    return Existing;
 
   ++Stats.Registrations;
   auto R = std::make_unique<Record>();
   R->Canonical = Canonical;
   R->D = std::move(D);
   R->Tags = deriveTags(Arena, R->D, Syms);
-  R->Cond = MonitorLock.newCondition();
+  if (!CondPool.empty()) {
+    R->Cond = std::move(CondPool.back());
+    CondPool.pop_back();
+  } else {
+    R->Cond = MonitorLock.newCondition();
+  }
   if (Cfg.UseCompiledEval)
-    R->Code = CompiledPredicate::compile(Canonical);
+    R->Code = CompiledPredicate::compile(
+        Canonical, [this](VarId V) -> ResolvedVar {
+          AUTOSYNCH_CHECK(Syms.isShared(V),
+                          "registered predicate mentions a local");
+          return {ResolvedVar::Kind::Shared, V};
+        });
   Record *Raw = R.get();
   Table.emplace(Canonical, std::move(R));
   // Newly registered predicates start parked; activate() revives them when
@@ -93,7 +128,9 @@ void ConditionManager::activate(Record *R) {
   if (Cfg.Policy == SignalPolicy::Tagged)
     for (const Tag &T : R->Tags)
       Index.add(T, R);
-  ActivePos[R] = ActiveList.size();
+  AUTOSYNCH_CHECK(R->ActiveIdx == InvalidPos,
+                  "inactive record still holds an active position");
+  R->ActiveIdx = ActiveList.size();
   ActiveList.push_back(R);
   ++ActiveCount;
   R->Active = true;
@@ -109,11 +146,13 @@ void ConditionManager::deactivate(Record *R) {
   if (Cfg.Policy == SignalPolicy::Tagged)
     for (const Tag &T : R->Tags)
       Index.remove(T, R);
-  size_t Pos = ActivePos.at(R);
+  size_t Pos = R->ActiveIdx;
+  AUTOSYNCH_CHECK(Pos < ActiveList.size() && ActiveList[Pos] == R,
+                  "record's active position is stale");
   ActiveList[Pos] = ActiveList.back();
-  ActivePos[ActiveList.back()] = Pos;
+  ActiveList[Pos]->ActiveIdx = Pos;
   ActiveList.pop_back();
-  ActivePos.erase(R);
+  R->ActiveIdx = InvalidPos;
   --ActiveCount;
   R->Active = false;
   park(R);
@@ -134,6 +173,15 @@ void ConditionManager::evictIfNeeded() {
       continue; // Revived while queued.
     AUTOSYNCH_CHECK(R->Waiters == 0 && R->PendingSignals == 0,
                     "evicting a record in use");
+    for (const std::vector<SigEntry> *Alias : R->SigAliases) {
+      auto It = BindTable.find(SigView{Alias->data(), Alias->size()});
+      AUTOSYNCH_CHECK(It != BindTable.end() && It->second == R,
+                      "stale plan-signature alias");
+      BindTable.erase(It);
+    }
+    // Park the condvar, never destroy it here: a deferred exit-wakeup may
+    // still be signaling it (see CondPool).
+    CondPool.push_back(std::move(R->Cond));
     Table.erase(R->Canonical);
     ++Stats.Evictions;
   }
@@ -172,14 +220,19 @@ ConditionManager::Record *ConditionManager::taggedFindTrue() {
       &Stats.Search);
 }
 
-void ConditionManager::relaySignal() {
+void ConditionManager::relaySignal(DeferredWake *Defer) {
   uint64_t T0 = Timers.start();
   ++Stats.RelayCalls;
 
   if (Cfg.Policy == SignalPolicy::Broadcast) {
     // Baseline: wake everyone; each waiter re-evaluates its own predicate.
     if (BroadcastWaiters > 0) {
-      BroadcastCond->signalAll();
+      if (Defer) {
+        Defer->Cond = BroadcastCond.get();
+        Defer->All = true;
+      } else {
+        BroadcastCond->signalAll();
+      }
       ++Stats.BroadcastSignals;
     }
     Timers.stop(PhaseTimers::Relay, T0);
@@ -198,7 +251,14 @@ void ConditionManager::relaySignal() {
   Record *R = Cfg.Policy == SignalPolicy::Tagged ? taggedFindTrue()
                                                  : linearScanFindTrue();
   if (R) {
-    R->Cond->signal();
+    // All bookkeeping happens here, under the lock, at pick time; only the
+    // condvar notification itself may be deferred past the unlock. The
+    // non-zero PendingSignals keeps the record alive (eviction refuses
+    // records in use) until the signaled thread resumes.
+    if (Defer)
+      Defer->Cond = R->Cond.get();
+    else
+      R->Cond->signal();
     ++R->PendingSignals;
     ++PendingTotal;
     ++Stats.SignalsSent;
@@ -229,29 +289,7 @@ void ConditionManager::awaitBroadcast(ExprRef Pred, const Env &Locals) {
   }
 }
 
-void ConditionManager::await(ExprRef Pred, const Env &Locals) {
-  // Fast path: the condition already holds (Fig. 6 checks P first).
-  {
-    OverlayEnv Combined(Locals, SharedEnv);
-    if (evalBool(Pred, Combined))
-      return;
-  }
-
-  if (Cfg.Policy == SignalPolicy::Broadcast)
-    return awaitBroadcast(Pred, Locals);
-
-  // Globalization (§4.1): substitute the thread's locals so every other
-  // thread can evaluate the predicate on our behalf.
-  ExprRef G = isComplex(Pred, Syms) ? globalize(Arena, Pred, Syms, Locals)
-                                    : Pred;
-  CanonicalPredicate CP = canonicalizePredicate(Arena, G, Cfg.Limits);
-  if (CP.D.isTrue()) // Canonicalization may prove it (x >= x).
-    return;
-  AUTOSYNCH_CHECK(!CP.D.isFalse(),
-                  "waituntil on an unsatisfiable predicate would never "
-                  "return");
-
-  Record *R = lookupOrRegister(CP.Expr, std::move(CP.D));
+void ConditionManager::waitOnRecord(Record *R) {
   activate(R);
   ++R->Waiters;
   ++TotalWaiters;
@@ -274,4 +312,77 @@ void ConditionManager::await(ExprRef Pred, const Env &Locals) {
   --TotalWaiters;
   if (R->Waiters == 0)
     deactivate(R);
+}
+
+void ConditionManager::await(ExprRef Pred, const Env &Locals) {
+  // Fast path: the condition already holds (Fig. 6 checks P first).
+  {
+    OverlayEnv Combined(Locals, SharedEnv);
+    if (evalBool(Pred, Combined))
+      return;
+  }
+
+  if (Cfg.Policy == SignalPolicy::Broadcast)
+    return awaitBroadcast(Pred, Locals);
+
+  // Globalization (§4.1): substitute the thread's locals so every other
+  // thread can evaluate the predicate on our behalf.
+  ExprRef G = isComplex(Pred, Syms) ? globalize(Arena, Pred, Syms, Locals)
+                                    : Pred;
+  CanonicalPredicate CP = canonicalizePredicate(Arena, G, Cfg.Limits);
+  if (CP.D.isTrue()) // Canonicalization may prove it (x >= x).
+    return;
+  AUTOSYNCH_CHECK(!CP.D.isFalse(),
+                  "waituntil on an unsatisfiable predicate would never "
+                  "return");
+
+  waitOnRecord(lookupOrRegister(CP.Expr, std::move(CP.D)));
+}
+
+void ConditionManager::awaitGround(const WaitPlan &Plan) {
+  AUTOSYNCH_CHECK(Plan.kind() == WaitPlan::Kind::Ground,
+                  "awaitGround requires a Ground plan");
+  // Steady state is a plain table hit; the plan's Dnf is copied only when
+  // the record actually has to be (re-)registered.
+  Record *R = lookupExisting(Plan.canonical().Expr);
+  if (!R)
+    R = lookupOrRegister(Plan.canonical().Expr, Plan.canonical().D);
+  waitOnRecord(R);
+}
+
+void ConditionManager::awaitBound(const SigEntry *Sig, size_t N) {
+  Record *R;
+  auto It = BindTable.find(SigView{Sig, N});
+  if (It != BindTable.end()) {
+    // Steady state: the signature was seen before; no interning, no
+    // allocation, no canonicalization.
+    R = It->second;
+    ++Stats.PlanBindHits;
+    PlanCounters::global().onBindHit();
+    if (!R->Active)
+      ++Stats.CacheReuses; // Revival parity with the table path.
+  } else {
+    // Cold: rebuild the ground predicate the signature denotes and unify
+    // it through the canonical table (it may already be registered via
+    // another shape, eager registration, or the uncached path), then
+    // remember the signature as an alias.
+    ++Stats.PlanColdBinds;
+    PlanCounters::global().onColdBind();
+    Dnf D0 = WaitPlan::reconstruct(Arena, Sig, N);
+    CanonicalPredicate CP =
+        canonicalizePredicate(Arena, dnfToExpr(Arena, D0), Cfg.Limits);
+    if (CP.D.isTrue())
+      return; // Subsumption may prove the binding trivially true.
+    AUTOSYNCH_CHECK(!CP.D.isFalse(),
+                    "waituntil on an unsatisfiable predicate would never "
+                    "return");
+    R = lookupOrRegister(CP.Expr, std::move(CP.D));
+    SigKey Key;
+    Key.E.assign(Sig, Sig + N);
+    auto [Slot, Inserted] = BindTable.emplace(std::move(Key), R);
+    AUTOSYNCH_CHECK(Inserted, "cold bind raced an existing signature");
+    R->SigAliases.push_back(&Slot->first.E);
+  }
+
+  waitOnRecord(R);
 }

@@ -35,12 +35,14 @@
 #include "expr/Bytecode.h"
 #include "expr/Env.h"
 #include "expr/SymbolTable.h"
+#include "plan/WaitPlan.h"
 #include "tag/TagIndex.h"
 
 #include <cstdint>
 #include <deque>
 #include <memory>
 #include <unordered_map>
+#include <vector>
 
 namespace autosynch {
 
@@ -54,7 +56,28 @@ struct ManagerStats {
   uint64_t Registrations = 0; ///< Predicates added to the table.
   uint64_t CacheReuses = 0;   ///< Predicates revived from the inactive cache.
   uint64_t Evictions = 0;     ///< Predicates evicted from the cache.
+  uint64_t PlanBindHits = 0;  ///< Plan signatures served by the bind table.
+  uint64_t PlanColdBinds = 0; ///< Plan signatures resolved the long way.
   TagSearchStats Search;      ///< Tag-directed search work.
+};
+
+/// A wakeup picked under the monitor lock but issued after it is released
+/// (Monitor::exit), so the signaled thread does not immediately block on
+/// the mutex the signaler still holds.
+struct DeferredWake {
+  sync::Condition *Cond = nullptr;
+  bool All = false;
+
+  /// Issues the wakeup (no-op when nothing was picked). Call WITHOUT the
+  /// monitor lock.
+  void fire() {
+    if (!Cond)
+      return;
+    if (All)
+      Cond->signalAll();
+    else
+      Cond->signal();
+  }
 };
 
 /// The per-monitor condition manager.
@@ -62,9 +85,12 @@ class ConditionManager {
 public:
   /// \p SharedEnv must resolve every Shared-scoped variable of \p Syms and
   /// reflect the monitor's current state on each call (the Monitor's slot
-  /// environment does). All references must outlive the manager.
+  /// environment does); \p Slots is the raw backing array of the same
+  /// state, indexed by VarId, for the allocation-free compiled-eval path.
+  /// All references must outlive the manager.
   ConditionManager(sync::Mutex &MonitorLock, ExprArena &Arena,
                    SymbolTable &Syms, const Env &SharedEnv,
+                   const std::vector<Value> &Slots,
                    const MonitorConfig &Cfg);
   ~ConditionManager();
   ConditionManager(const ConditionManager &) = delete;
@@ -72,15 +98,33 @@ public:
 
   /// Blocks the calling thread until \p Pred (which may mention local
   /// variables bound in \p Locals) holds. Implements the paper's Fig. 6:
-  /// check, globalize, register, then relay-and-wait until true.
+  /// check, globalize, register, then relay-and-wait until true. This is
+  /// the uncached path; steady-state waits go through awaitGround /
+  /// awaitBound below.
   ///
   /// Monitor lock must be held; it is released while blocked and re-held on
   /// return. Fatal error if the predicate is canonically unsatisfiable
   /// (the wait could never finish).
   void await(ExprRef Pred, const Env &Locals);
 
+  /// Blocks on a Ground wait plan (shared-only shape, canonicalized at
+  /// plan-build time). The caller has already checked the fast path (the
+  /// predicate is false right now). Lock requirements as await().
+  void awaitGround(const WaitPlan &Plan);
+
+  /// Blocks on a resolved plan signature (\p Sig / \p N from
+  /// WaitPlan::resolve, status Resolved). Known signatures map straight to
+  /// their predicate record — zero interning, zero allocation; unknown
+  /// ones are reconstructed and unified through the canonical predicate
+  /// table. Lock requirements as await().
+  void awaitBound(const SigEntry *Sig, size_t N);
+
   /// The relay signaling rule; called on monitor exit and before blocking.
-  void relaySignal();
+  /// With \p Defer null the winning record is signaled immediately (the
+  /// pre-block relay, where the caller is about to release the lock by
+  /// waiting anyway); otherwise the pick is recorded in \p Defer and the
+  /// caller fires it after releasing the monitor lock.
+  void relaySignal(DeferredWake *Defer = nullptr);
 
   /// Eagerly registers \p Pred (no waiting), mirroring the paper's
   /// constructor-time registration of static shared predicates (Fig. 5).
@@ -109,6 +153,8 @@ public:
   int pendingSignals() const { return PendingTotal; }
 
 private:
+  static constexpr size_t InvalidPos = static_cast<size_t>(-1);
+
   /// One registered (globalized, canonicalized) predicate.
   struct Record {
     ExprRef Canonical = nullptr;
@@ -122,15 +168,69 @@ private:
     /// Whether the record has an entry in InactiveQueue (at most one).
     bool InQueue = false;
     uint64_t LastUse = 0;
+    /// Intrusive position in ActiveList (InvalidPos when inactive); no
+    /// side-table hashing on activate/deactivate.
+    size_t ActiveIdx = InvalidPos;
+    /// Intrusive position in the tag index's None list (see TagIndex).
+    size_t NoneIdx = InvalidPos;
+    /// Plan-signature aliases resolving to this record: pointers to the
+    /// owning BindTable keys (stable: unordered_map nodes do not move),
+    /// used to erase the aliases on eviction without a second copy of
+    /// each signature.
+    std::vector<const std::vector<SigEntry> *> SigAliases;
+  };
+
+  /// Owned plan-signature key (cold path); lookups use SigView.
+  struct SigKey {
+    std::vector<SigEntry> E;
+  };
+  struct SigView {
+    const SigEntry *P;
+    size_t N;
+  };
+  struct SigHash {
+    using is_transparent = void;
+    size_t operator()(const SigKey &K) const {
+      return hash(K.E.data(), K.E.size());
+    }
+    size_t operator()(const SigView &V) const { return hash(V.P, V.N); }
+    static size_t hash(const SigEntry *P, size_t N);
+  };
+  struct SigEq {
+    using is_transparent = void;
+    static bool eq(const SigEntry *A, size_t NA, const SigEntry *B,
+                   size_t NB) {
+      if (NA != NB)
+        return false;
+      for (size_t I = 0; I != NA; ++I)
+        if (!(A[I] == B[I]))
+          return false;
+      return true;
+    }
+    bool operator()(const SigKey &A, const SigKey &B) const {
+      return eq(A.E.data(), A.E.size(), B.E.data(), B.E.size());
+    }
+    bool operator()(const SigKey &A, const SigView &B) const {
+      return eq(A.E.data(), A.E.size(), B.P, B.N);
+    }
+    bool operator()(const SigView &A, const SigKey &B) const {
+      return eq(A.P, A.N, B.E.data(), B.E.size());
+    }
   };
 
   /// Parks \p R in the inactive queue for reuse or eventual eviction.
   void park(Record *R);
 
+  /// Existing record for \p Canonical (with revival bookkeeping), or null.
+  Record *lookupExisting(ExprRef Canonical);
   Record *lookupOrRegister(ExprRef Canonical, Dnf D);
   void activate(Record *R);
   void deactivate(Record *R);
   void evictIfNeeded();
+
+  /// The shared blocking loop: activate, relay-and-wait until the record's
+  /// predicate holds, deactivate when the last waiter leaves.
+  void waitOnRecord(Record *R);
 
   /// Full predicate check under the current shared state.
   bool recordTrue(Record *R);
@@ -148,6 +248,7 @@ private:
   ExprArena &Arena;
   SymbolTable &Syms;
   const Env &SharedEnv;
+  const std::vector<Value> &Slots;
   MonitorConfig Cfg;
   PhaseTimers Timers;
 
@@ -155,17 +256,29 @@ private:
   /// work because canonical predicates are interned.
   std::unordered_map<ExprRef, std::unique_ptr<Record>> Table;
 
+  /// Plan-bind table: resolved plan signature -> record. The steady-state
+  /// complex-predicate path; entries are aliases into Table's records.
+  std::unordered_map<SigKey, Record *, SigHash, SigEq> BindTable;
+
   /// Tag indices (Tagged policy).
   TagIndex<Record> Index;
 
   /// Active records, for the LinearScan policy and diagnostics.
   std::vector<Record *> ActiveList;
-  std::unordered_map<Record *, size_t> ActivePos;
   size_t ActiveCount = 0;
 
   /// Inactive cache in parking order. Each record appears at most once
   /// (Record::InQueue); revived records are skipped lazily on eviction.
   std::deque<Record *> InactiveQueue;
+
+  /// Condition variables of evicted records. Never destroyed before the
+  /// manager itself: a deferred wakeup (Monitor::exit signals after the
+  /// unlock) may still be in flight for a record whose waiter already
+  /// resumed — consuming the pending-signal accounting and allowing
+  /// eviction — so destroying the condvar there would race the signal.
+  /// Parking it instead makes the late signal a legal spurious wakeup for
+  /// whichever record reuses it.
+  std::vector<std::unique_ptr<sync::Condition>> CondPool;
 
   /// Broadcast policy state.
   std::unique_ptr<sync::Condition> BroadcastCond;

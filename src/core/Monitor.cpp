@@ -14,7 +14,7 @@ using namespace autosynch;
 
 Monitor::Monitor(MonitorConfig Config)
     : Cfg(Config), Lock(Config.Backend), SharedSlots(Syms, Slots),
-      Mgr(Lock, Arena, Syms, SharedSlots, Cfg) {}
+      Mgr(Lock, Arena, Syms, SharedSlots, Slots, Cfg), Plans(Arena, Syms) {}
 
 Monitor::~Monitor() = default;
 
@@ -63,17 +63,23 @@ void Monitor::exit() {
   if (--Depth > 0)
     return;
   // Relay signaling rule: on exit, hand the monitor to some thread whose
-  // condition has become true (paper §4.2).
-  Mgr.relaySignal();
+  // condition has become true (paper §4.2). The winner is picked (and all
+  // bookkeeping done) under the lock, but the condvar wakeup fires only
+  // after the unlock — otherwise the woken thread would immediately block
+  // on the mutex this thread still holds (the wake-then-block convoy).
+  DeferredWake Wake;
+  Mgr.relaySignal(&Wake);
   Owner.store(std::thread::id(), std::memory_order_relaxed);
   Lock.unlock();
+  Wake.fire();
 }
 
 //===----------------------------------------------------------------------===//
 // waituntil
 //===----------------------------------------------------------------------===//
 
-void Monitor::waitUntilImpl(ExprRef Pred, const Env &Locals) {
+void Monitor::waitUntilImpl(ExprRef Pred, const Env &Locals, bool Edsl,
+                            ParseEntry *Entry) {
   AUTOSYNCH_CHECK(ownedByCaller(), "waitUntil outside the monitor");
   AUTOSYNCH_CHECK(Depth == 1,
                   "waitUntil from a nested monitor region would deadlock");
@@ -86,9 +92,85 @@ void Monitor::waitUntilImpl(ExprRef Pred, const Env &Locals) {
   // (and unbalance exit()). We checked Depth == 1 above, so restoring to
   // 1 is exact.
   Owner.store(std::thread::id(), std::memory_order_relaxed);
-  Mgr.await(Pred, Locals);
+  dispatchWait(Pred, Locals, Edsl, Entry);
   Owner.store(Me, std::memory_order_relaxed);
   Depth = 1;
+}
+
+void Monitor::dispatchWait(ExprRef Pred, const Env &Locals, bool Edsl,
+                           ParseEntry *Entry) {
+  if (!Cfg.UsePlanCache || Cfg.Policy == SignalPolicy::Broadcast) {
+    PlanCounters::global().onLegacyWait();
+    Mgr.await(Pred, Locals);
+    return;
+  }
+
+  Value Bound[WaitPlan::MaxSlots];
+  size_t NumBound = 0;
+  const WaitPlan *Plan;
+  if (Edsl) {
+    Plan = Plans.forEdsl(Pred, Cfg.Limits, Bound, NumBound);
+  } else if (Entry && Entry->Plan) {
+    Plan = Entry->Plan; // Memoized on the parse-cache entry.
+  } else {
+    Plan = Plans.forShape(Pred, Cfg.Limits);
+    if (Entry)
+      Entry->Plan = Plan;
+  }
+
+  // Shapes beyond the planner (mixed non-linear atoms, slot overflow) and
+  // the canonically-trivial ones run the uncached pipeline: it reproduces
+  // the exact fast-path-then-fatal behavior for trivial predicates, and
+  // it is the reference semantics for everything else.
+  if (!Plan || Plan->kind() == WaitPlan::Kind::Legacy ||
+      Plan->kind() == WaitPlan::Kind::AlwaysTrue ||
+      Plan->kind() == WaitPlan::Kind::Unsatisfiable) {
+    PlanCounters::global().onLegacyWait();
+    Mgr.await(Pred, Locals);
+    return;
+  }
+
+  if (Plan->kind() == WaitPlan::Kind::Ground) {
+    if (Plan->code().runRawBool(Slots.data(), nullptr))
+      return; // Fast path: already true (Fig. 6 checks P first).
+    Mgr.awaitGround(*Plan);
+    return;
+  }
+
+  // Slotted plan: bind this thread's locals, then check-then-wait.
+  if (!Edsl)
+    Plan->bindFromEnv(Locals, Bound);
+  else
+    AUTOSYNCH_CHECK(NumBound == Plan->slots().size(),
+                    "EDSL binding count diverged from the plan");
+  if (Plan->code().runRawBool(Slots.data(), Bound))
+    return; // Fast path: already true.
+
+  SigEntry Sig[WaitPlan::MaxSigEntries];
+  size_t N = 0;
+  switch (Plan->resolve(Bound, Sig, N)) {
+  case WaitPlan::ResolveStatus::Resolved:
+    Mgr.awaitBound(Sig, N);
+    return;
+  case WaitPlan::ResolveStatus::True:
+    // "True under any shared state" contradicts the fast check above;
+    // resolution and the compiled check derive from the same canonical
+    // form, so this is unreachable.
+    AUTOSYNCH_CHECK(false, "plan resolution diverged from evaluation");
+    return;
+  case WaitPlan::ResolveStatus::False:
+    AUTOSYNCH_CHECK(false,
+                    "waituntil on an unsatisfiable predicate would never "
+                    "return");
+    return;
+  case WaitPlan::ResolveStatus::Overflow:
+    // Key arithmetic left int64; the uncached pipeline (whose own
+    // overflow handling degrades to an untagged opaque atom) is exact.
+    PlanCounters::global().onLegacyWait();
+    Mgr.await(Pred, Locals);
+    return;
+  }
+  AUTOSYNCH_UNREACHABLE("invalid ResolveStatus");
 }
 
 void Monitor::waitUntil(const ExprHandle &P) {
@@ -96,20 +178,21 @@ void Monitor::waitUntil(const ExprHandle &P) {
                   "predicate built against a different monitor");
   AUTOSYNCH_CHECK(P.type() == TypeKind::Bool,
                   "waitUntil requires a bool predicate");
-  waitUntilImpl(P.ref(), EmptyEnv::instance());
+  waitUntilImpl(P.ref(), EmptyEnv::instance(), /*Edsl=*/true, nullptr);
 }
 
 void Monitor::waitUntil(std::string_view Pred) {
-  waitUntilImpl(parseCached(Pred), EmptyEnv::instance());
+  ParseEntry &E = parseCached(Pred);
+  waitUntilImpl(E.Expr, EmptyEnv::instance(), /*Edsl=*/false, &E);
 }
 
 void Monitor::waitUntil(std::string_view Pred, const MapEnv &Locals) {
-  waitUntilImpl(parseCached(Pred), Locals);
+  ParseEntry &E = parseCached(Pred);
+  waitUntilImpl(E.Expr, Locals, /*Edsl=*/false, &E);
 }
 
-ExprRef Monitor::parseCached(std::string_view Pred) {
-  std::string Key(Pred);
-  auto It = ParseCache.find(Key);
+Monitor::ParseEntry &Monitor::parseCached(std::string_view Pred) {
+  auto It = ParseCache.find(Pred); // Heterogeneous: no key allocation.
   if (It != ParseCache.end())
     return It->second;
 
@@ -117,12 +200,12 @@ ExprRef Monitor::parseCached(std::string_view Pred) {
   Options.AutoDeclareLocals = true;
   PredicateParseResult R = parsePredicate(Pred, Arena, Syms, Options);
   if (!R.ok()) {
-    std::string Msg = "waituntil predicate \"" + Key +
+    std::string Msg = "waituntil predicate \"" + std::string(Pred) +
                       "\": " + R.Error.toString();
     fatalError(__FILE__, __LINE__, Msg.c_str());
   }
-  ParseCache.emplace(std::move(Key), R.Expr);
-  return R.Expr;
+  return ParseCache.emplace(std::string(Pred), ParseEntry{R.Expr, nullptr})
+      .first->second;
 }
 
 VarId Monitor::local(std::string_view Name, TypeKind Ty) {
@@ -137,7 +220,7 @@ VarId Monitor::local(std::string_view Name, TypeKind Ty) {
 }
 
 void Monitor::registerPredicate(std::string_view Pred) {
-  ExprRef E = parseCached(Pred);
+  ExprRef E = parseCached(Pred).Expr;
   AUTOSYNCH_CHECK(!isComplex(E, Syms),
                   "registerPredicate requires a shared predicate");
   Mgr.registerPredicate(E);

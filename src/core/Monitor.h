@@ -49,9 +49,12 @@
 
 #include "core/ConditionManager.h"
 #include "expr/Builder.h"
+#include "plan/PlanCache.h"
 
 #include <atomic>
+#include <functional>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <type_traits>
 #include <unordered_map>
@@ -172,6 +175,8 @@ public:
   ExprArena &arena() { return Arena; }
   SymbolTable &symbols() { return Syms; }
   const MonitorConfig &config() const { return Cfg; }
+  /// The monitor's wait-plan cache (predicate-shape -> WaitPlan).
+  PlanCache &planCache() { return Plans; }
 
 protected:
   explicit Monitor(MonitorConfig Config = {});
@@ -227,8 +232,31 @@ private:
   Value readSlot(VarId Id) const;
   void writeSlot(VarId Id, Value V, bool RequireOwned);
 
-  ExprRef parseCached(std::string_view Pred);
-  void waitUntilImpl(ExprRef Pred, const Env &Locals);
+  /// A parse-cache entry: the interned parse plus the memoized WaitPlan
+  /// for that shape (filled on first use; plans are never evicted, so the
+  /// pointer is stable). Saves a plan-cache hash lookup per parsed wait.
+  struct ParseEntry {
+    ExprRef Expr = nullptr;
+    const WaitPlan *Plan = nullptr;
+  };
+
+  ParseEntry &parseCached(std::string_view Pred);
+  void waitUntilImpl(ExprRef Pred, const Env &Locals, bool Edsl,
+                     ParseEntry *Entry);
+  void dispatchWait(ExprRef Pred, const Env &Locals, bool Edsl,
+                    ParseEntry *Entry);
+
+  /// Heterogeneous string hashing so the parse-cache hit path looks up by
+  /// string_view without materializing a std::string key.
+  struct StringHash {
+    using is_transparent = void;
+    size_t operator()(std::string_view S) const {
+      return std::hash<std::string_view>{}(S);
+    }
+    size_t operator()(const std::string &S) const {
+      return std::hash<std::string_view>{}(S);
+    }
+  };
 
   MonitorConfig Cfg;
   sync::Mutex Lock;
@@ -237,7 +265,9 @@ private:
   std::vector<Value> Slots;
   detail::SlotEnv SharedSlots;
   ConditionManager Mgr;
-  std::unordered_map<std::string, ExprRef> ParseCache;
+  PlanCache Plans;
+  std::unordered_map<std::string, ParseEntry, StringHash, std::equal_to<>>
+      ParseCache;
   std::atomic<std::thread::id> Owner{};
   int Depth = 0;
 };

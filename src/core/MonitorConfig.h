@@ -53,8 +53,19 @@ struct MonitorConfig {
   bool EnablePhaseTimers = false;
 
   /// Evaluate registered predicates with compiled bytecode instead of the
-  /// tree walker (ablation bench).
-  bool UseCompiledEval = false;
+  /// tree walker. On by default: slot programs read the monitor state as a
+  /// flat array (no virtual Env dispatch). Turn off for the tree-walk
+  /// ablation — together with UsePlanCache, whose fast-path check always
+  /// runs the plan's compiled program regardless of this flag.
+  bool UseCompiledEval = true;
+
+  /// Serve waituntil through the per-shape WaitPlan cache (src/plan/):
+  /// steady-state waits bind local values into a cached, pre-canonicalized
+  /// plan instead of re-running globalization -> canonicalization -> tag
+  /// derivation. Turn off for the uncached-pipeline ablation. Ignored by
+  /// the Broadcast policy (its waiters evaluate their own predicates;
+  /// there is nothing to plan).
+  bool UsePlanCache = true;
 
   /// Registered predicates with no waiters are parked in an inactive cache
   /// for reuse (§5.2) instead of being destroyed; the oldest entries are

@@ -21,22 +21,6 @@ AtomCanonResult constResult(bool Truth) {
 
 AtomCanonResult opaque() { return AtomCanonResult(); }
 
-/// Floor division, exact for negative numerators.
-int64_t floorDiv(int64_t A, int64_t B) {
-  int64_t Q = A / B;
-  if ((A % B != 0) && ((A < 0) != (B < 0)))
-    --Q;
-  return Q;
-}
-
-/// Ceiling division, exact for negative numerators.
-int64_t ceilDiv(int64_t A, int64_t B) {
-  int64_t Q = A / B;
-  if ((A % B != 0) && ((A < 0) == (B < 0)))
-    ++Q;
-  return Q;
-}
-
 /// Evaluates `0 op K` for a constant-only comparison.
 bool constCompare(ExprKind Op, int64_t Lhs, int64_t Rhs) {
   switch (Op) {
@@ -147,10 +131,10 @@ AtomCanonResult autosynch::canonicalizeAtom(ExprRef E) {
       K /= Gs;
       break;
     case ExprKind::Le:
-      K = floorDiv(K, Gs); // g*expr <= K  ≡  expr <= floor(K/g).
+      K = floorDivExact(K, Gs); // g*expr <= K  ≡  expr <= floor(K/g).
       break;
     case ExprKind::Ge:
-      K = ceilDiv(K, Gs); // g*expr >= K  ≡  expr >= ceil(K/g).
+      K = ceilDivExact(K, Gs); // g*expr >= K  ≡  expr >= ceil(K/g).
       break;
     default:
       AUTOSYNCH_UNREACHABLE("strict op survived canonicalization");

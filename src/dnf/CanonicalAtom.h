@@ -55,6 +55,24 @@ struct AtomCanonResult {
   CanonicalAtom Atom;
 };
 
+/// Floor division, exact for negative numerators. Shared with the wait
+/// planner (plan/WaitPlan.cpp): a bound key must reduce exactly the way
+/// this canonicalizer reduces a ground constant.
+inline int64_t floorDivExact(int64_t A, int64_t B) {
+  int64_t Q = A / B;
+  if ((A % B != 0) && ((A < 0) != (B < 0)))
+    --Q;
+  return Q;
+}
+
+/// Ceiling division, exact for negative numerators (see floorDivExact).
+inline int64_t ceilDivExact(int64_t A, int64_t B) {
+  int64_t Q = A / B;
+  if ((A % B != 0) && ((A < 0) == (B < 0)))
+    ++Q;
+  return Q;
+}
+
 /// Canonicalizes \p E if it is a comparison between linear int expressions;
 /// returns Opaque otherwise (boolean atoms, non-linear arithmetic).
 AtomCanonResult canonicalizeAtom(ExprRef E);

@@ -7,6 +7,8 @@
 
 #include "expr/Bytecode.h"
 
+#include "expr/Eval.h"
+
 #include <cstdint>
 
 using namespace autosynch;
@@ -17,7 +19,8 @@ using namespace autosynch;
 
 class CompiledPredicate::Compiler {
 public:
-  explicit Compiler(CompiledPredicate &P) : P(P) {}
+  Compiler(CompiledPredicate &P, const VarResolver *Resolve)
+      : P(P), Resolve(Resolve) {}
 
   void compile(ExprRef E) {
     emitExpr(E);
@@ -35,7 +38,14 @@ private:
       emitPush(E->boolValue() ? 1 : 0);
       return;
     case ExprKind::Var:
-      emit({OpCode::LoadVar, E->varId(), 0});
+      if (Resolve) {
+        ResolvedVar R = (*Resolve)(E->varId());
+        emit({R.K == ResolvedVar::Kind::Shared ? OpCode::LoadShared
+                                               : OpCode::LoadLocal,
+              R.Index, 0});
+      } else {
+        emit({OpCode::LoadVar, E->varId(), 0});
+      }
       push();
       return;
     case ExprKind::Neg:
@@ -126,13 +136,21 @@ private:
   }
 
   CompiledPredicate &P;
+  const VarResolver *Resolve;
   unsigned Depth = 0;
   unsigned MaxDepth = 0;
 };
 
 CompiledPredicate CompiledPredicate::compile(ExprRef E) {
   CompiledPredicate P;
-  Compiler(P).compile(E);
+  Compiler(P, nullptr).compile(E);
+  return P;
+}
+
+CompiledPredicate CompiledPredicate::compile(ExprRef E,
+                                             const VarResolver &Resolve) {
+  CompiledPredicate P;
+  Compiler(P, &Resolve).compile(E);
   return P;
 }
 
@@ -142,8 +160,13 @@ CompiledPredicate CompiledPredicate::compile(ExprRef E) {
 
 static int64_t wrap(uint64_t V) { return static_cast<int64_t>(V); }
 
-Value CompiledPredicate::run(const Env &Bindings) const {
+/// Shared interpreter loop; \p Load maps a load instruction to the raw
+/// payload it pushes. Templated (not virtual) so the slot path inlines to
+/// plain array indexing.
+template <typename LoadFn>
+Value CompiledPredicate::execute(LoadFn &&Load) const {
   AUTOSYNCH_CHECK(valid(), "running an empty CompiledPredicate");
+  detail::bumpPredicateEvalCount();
 
   // Predicates are small; a fixed stack avoids allocation on the relay path.
   constexpr unsigned StackCap = 256;
@@ -158,7 +181,9 @@ Value CompiledPredicate::run(const Env &Bindings) const {
       Stack[Top++] = I.Imm;
       break;
     case OpCode::LoadVar:
-      Stack[Top++] = Bindings.get(I.A).raw();
+    case OpCode::LoadShared:
+    case OpCode::LoadLocal:
+      Stack[Top++] = Load(I.Op, I.A);
       break;
     case OpCode::Neg:
       Stack[Top - 1] = wrap(-static_cast<uint64_t>(Stack[Top - 1]));
@@ -233,4 +258,23 @@ Value CompiledPredicate::run(const Env &Bindings) const {
   AUTOSYNCH_CHECK(Top == 1, "bytecode left a malformed stack");
   return ResultType == TypeKind::Bool ? Value::makeBool(Stack[0] != 0)
                                       : Value::makeInt(Stack[0]);
+}
+
+Value CompiledPredicate::run(const Env &Bindings) const {
+  return execute([&Bindings](OpCode Op, uint32_t A) {
+    AUTOSYNCH_CHECK(Op == OpCode::LoadVar,
+                    "slot program run without slot arrays");
+    return Bindings.get(A).raw();
+  });
+}
+
+Value CompiledPredicate::runRaw(const Value *Shared,
+                                const Value *Locals) const {
+  return execute([Shared, Locals](OpCode Op, uint32_t A) {
+    if (Op == OpCode::LoadShared)
+      return Shared[A].raw();
+    AUTOSYNCH_CHECK(Op == OpCode::LoadLocal,
+                    "Env program run through runRaw");
+    return Locals[A].raw();
+  });
 }

@@ -17,7 +17,8 @@
 
 #include "expr/Var.h"
 
-#include <unordered_map>
+#include <array>
+#include <vector>
 
 namespace autosynch {
 
@@ -48,13 +49,27 @@ public:
   }
 };
 
-/// A hash-map environment; the common carrier for waituntil local values.
+/// A small-map environment; the common carrier for waituntil local values.
+/// Monitor predicates mention a handful of locals, so bindings live in a
+/// fixed inline array (linear scan) and the constructor/bind path performs
+/// no heap allocation until the inline capacity overflows — waituntil call
+/// sites that build `locals().bindInt(...)` stay allocation-free.
 class MapEnv final : public Env {
 public:
   MapEnv() = default;
 
   MapEnv &bind(VarId Id, Value V) {
-    Bindings[Id] = V;
+    for (size_t I = 0; I != Count; ++I) {
+      if (at(I).first == Id) {
+        at(I).second = V;
+        return *this;
+      }
+    }
+    if (Count < Inline.size())
+      Inline[Count] = {Id, V};
+    else
+      Overflow.push_back({Id, V});
+    ++Count;
     return *this;
   }
 
@@ -65,17 +80,35 @@ public:
   MapEnv &bindBool(VarId Id, bool V) { return bind(Id, Value::makeBool(V)); }
 
   Value get(VarId Id) const override {
-    auto It = Bindings.find(Id);
-    AUTOSYNCH_CHECK(It != Bindings.end(), "unbound variable in MapEnv::get");
-    return It->second;
+    const Value *V = find(Id);
+    AUTOSYNCH_CHECK(V != nullptr, "unbound variable in MapEnv::get");
+    return *V;
   }
 
-  bool has(VarId Id) const override { return Bindings.count(Id) != 0; }
+  bool has(VarId Id) const override { return find(Id) != nullptr; }
 
-  size_t size() const { return Bindings.size(); }
+  size_t size() const { return Count; }
 
 private:
-  std::unordered_map<VarId, Value> Bindings;
+  using Entry = std::pair<VarId, Value>;
+
+  Entry &at(size_t I) {
+    return I < Inline.size() ? Inline[I] : Overflow[I - Inline.size()];
+  }
+  const Entry &at(size_t I) const {
+    return I < Inline.size() ? Inline[I] : Overflow[I - Inline.size()];
+  }
+
+  const Value *find(VarId Id) const {
+    for (size_t I = 0; I != Count; ++I)
+      if (at(I).first == Id)
+        return &at(I).second;
+    return nullptr;
+  }
+
+  std::array<Entry, 8> Inline{};
+  std::vector<Entry> Overflow;
+  size_t Count = 0;
 };
 
 /// Overlays two environments: looks in First, then in Second. Used by the

@@ -101,6 +101,10 @@ static Value evalImpl(ExprRef E, const Env &Bindings) {
   }
 }
 
+void autosynch::detail::bumpPredicateEvalCount() {
+  EvalCount.fetch_add(1, std::memory_order_relaxed);
+}
+
 Value autosynch::eval(ExprRef E, const Env &Bindings) {
   EvalCount.fetch_add(1, std::memory_order_relaxed);
   return evalImpl(E, Bindings);

@@ -38,9 +38,16 @@ int64_t evalInt(ExprRef E, const Env &Bindings);
 
 /// Process-wide count of eval() calls on predicate roots; the benches use
 /// this to report predicate-evaluation workloads. Updated with relaxed
-/// atomics.
+/// atomics. Compiled-predicate executions (expr/Bytecode.h) count too, so
+/// the number means "predicate evaluations" regardless of evaluator.
 uint64_t predicateEvalCount();
 void resetPredicateEvalCount();
+
+namespace detail {
+/// Bumps the predicateEvalCount() counter; the bytecode VM calls this on
+/// every program execution so both evaluators feed one statistic.
+void bumpPredicateEvalCount();
+} // namespace detail
 
 } // namespace autosynch
 

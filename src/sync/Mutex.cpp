@@ -198,7 +198,7 @@ std::unique_ptr<Condition> Mutex::newCondition() {
 }
 
 void Condition::await() {
-  ++Awaits;
+  Awaits.fetch_add(1, std::memory_order_relaxed);
   Counters &G = Counters::global();
   G.onAwait();
   if (AUTOSYNCH_UNLIKELY(G.timingEnabled())) {
@@ -212,13 +212,13 @@ void Condition::await() {
 }
 
 void Condition::signal() {
-  ++Signals;
+  Signals.fetch_add(1, std::memory_order_relaxed);
   Counters::global().onSignal();
   Impl->signal();
 }
 
 void Condition::signalAll() {
-  ++SignalAlls;
+  SignalAlls.fetch_add(1, std::memory_order_relaxed);
   Counters::global().onSignalAll();
   Impl->signalAll();
 }

@@ -24,6 +24,7 @@
 #ifndef AUTOSYNCH_SYNC_MUTEX_H
 #define AUTOSYNCH_SYNC_MUTEX_H
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 
@@ -85,8 +86,14 @@ private:
   std::unique_ptr<detail::MutexImpl> Impl;
 };
 
-/// A condition variable bound to a Mutex. All member functions require the
-/// bound mutex to be held by the calling thread.
+/// A condition variable bound to a Mutex. await() requires the bound mutex
+/// to be held by the calling thread. signal()/signalAll() may be called
+/// with OR without the mutex held: both backends tolerate lock-free
+/// notification (std::condition_variable by contract; the futex backend by
+/// its sequence counter), which is what lets the monitor defer its relay
+/// wakeup until after the monitor lock is released (no wake-then-block
+/// convoy). The caller must still guarantee the Condition outlives any
+/// in-flight lock-free signal.
 class Condition {
 public:
   /// Atomically releases the mutex and blocks until signaled (or a spurious
@@ -100,12 +107,18 @@ public:
   /// AutoSynch policies never use it.
   void signalAll();
 
-  /// Number of await calls on this condition (updated under the mutex).
-  uint64_t awaitCount() const { return Awaits; }
+  /// Number of await calls on this condition.
+  uint64_t awaitCount() const {
+    return Awaits.load(std::memory_order_relaxed);
+  }
   /// Number of signal calls on this condition.
-  uint64_t signalCount() const { return Signals; }
+  uint64_t signalCount() const {
+    return Signals.load(std::memory_order_relaxed);
+  }
   /// Number of signalAll calls on this condition.
-  uint64_t signalAllCount() const { return SignalAlls; }
+  uint64_t signalAllCount() const {
+    return SignalAlls.load(std::memory_order_relaxed);
+  }
 
 private:
   friend class Mutex;
@@ -113,9 +126,10 @@ private:
       : Impl(std::move(Impl)) {}
 
   std::unique_ptr<detail::ConditionImpl> Impl;
-  uint64_t Awaits = 0;
-  uint64_t Signals = 0;
-  uint64_t SignalAlls = 0;
+  // Relaxed atomics: signal()/signalAll() may run outside the mutex.
+  std::atomic<uint64_t> Awaits{0};
+  std::atomic<uint64_t> Signals{0};
+  std::atomic<uint64_t> SignalAlls{0};
 };
 
 } // namespace autosynch::sync

@@ -30,14 +30,20 @@ namespace autosynch {
 
 /// Tag-directed index of records (registered predicates). RecordT is
 /// supplied by the condition manager; tests instantiate it with a stub.
+///
+/// RecordT must expose a `size_t NoneIdx` member initialized to
+/// TagIndex::InvalidPos: the index stores a record's position in the None
+/// list intrusively, so None-tag activation/deactivation does no hashing.
 template <typename RecordT> class TagIndex {
 public:
+  static constexpr size_t InvalidPos = static_cast<size_t>(-1);
+
   /// Registers \p R under \p T.
   void add(const Tag &T, RecordT *R) {
     if (T.Kind == TagKind::None) {
-      AUTOSYNCH_CHECK(NonePos.find(R) == NonePos.end(),
+      AUTOSYNCH_CHECK(R->NoneIdx == InvalidPos,
                       "record already in the None list");
-      NonePos[R] = NoneList.size();
+      R->NoneIdx = NoneList.size();
       NoneList.push_back(R);
       return;
     }
@@ -53,13 +59,13 @@ public:
   /// Unregisters \p R from \p T (must match a prior add).
   void remove(const Tag &T, RecordT *R) {
     if (T.Kind == TagKind::None) {
-      auto It = NonePos.find(R);
-      AUTOSYNCH_CHECK(It != NonePos.end(), "record not in the None list");
-      size_t Pos = It->second;
+      size_t Pos = R->NoneIdx;
+      AUTOSYNCH_CHECK(Pos < NoneList.size() && NoneList[Pos] == R,
+                      "record not in the None list");
       NoneList[Pos] = NoneList.back();
-      NonePos[NoneList.back()] = Pos;
+      NoneList[Pos]->NoneIdx = Pos;
       NoneList.pop_back();
-      NonePos.erase(It);
+      R->NoneIdx = InvalidPos;
       return;
     }
 
@@ -167,7 +173,6 @@ private:
 
   std::unordered_map<ExprRef, PerExpr> Exprs;
   std::vector<RecordT *> NoneList;
-  std::unordered_map<RecordT *, size_t> NonePos;
 };
 
 } // namespace autosynch

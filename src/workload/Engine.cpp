@@ -312,6 +312,7 @@ ScenarioReport Engine::run() {
   }
 
   sync::CountersSnapshot Sync0 = sync::Counters::global().snapshot();
+  PlanCountersSnapshot Plan0 = PlanCounters::global().snapshot();
   StartGate.arrive_and_wait();
   Stopwatch Watch;
   for (std::thread &T : Pool)
@@ -327,6 +328,7 @@ ScenarioReport Engine::run() {
   R.TotalThreads = TotalThreads;
   R.WallSeconds = Wall;
   R.Sync = sync::Counters::global().snapshot() - Sync0;
+  R.Plan = PlanCounters::global().snapshot() - Plan0;
 
   int64_t SinkTokens = 0;
   for (size_t I = 0; I != Stages.size(); ++I) {
@@ -398,6 +400,14 @@ void workload::writeReportJson(const ScenarioReport &R, JsonWriter &J) {
       .member("signals", R.Sync.Signals)
       .member("signal_alls", R.Sync.SignalAlls)
       .member("wakeups", R.Sync.Wakeups)
+      .endObject();
+  J.key("plan_cache");
+  J.beginObject()
+      .member("shape_builds", R.Plan.ShapeBuilds)
+      .member("shape_hits", R.Plan.ShapeHits)
+      .member("bind_hits", R.Plan.BindHits)
+      .member("cold_binds", R.Plan.ColdBinds)
+      .member("legacy_waits", R.Plan.LegacyWaits)
       .endObject();
   J.key("stages");
   J.beginArray();

@@ -21,6 +21,7 @@
 #ifndef AUTOSYNCH_WORKLOAD_ENGINE_H
 #define AUTOSYNCH_WORKLOAD_ENGINE_H
 
+#include "plan/PlanCache.h"
 #include "problems/Mechanism.h"
 #include "support/Stats.h"
 #include "sync/Counters.h"
@@ -81,6 +82,10 @@ struct ScenarioReport {
   LatencyHistogram EndToEnd;
   /// Sync-layer event deltas over the run (process-wide).
   sync::CountersSnapshot Sync;
+  /// Wait-plan cache deltas over the run (process-wide): how the
+  /// monitors' waituntil calls were served (bind-table hits vs. cold
+  /// resolutions vs. the uncached pipeline).
+  PlanCountersSnapshot Plan;
   std::vector<StageReport> Stages;
 };
 

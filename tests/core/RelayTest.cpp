@@ -176,6 +176,64 @@ TEST(RelayBaselineTest, BroadcastAlsoDrains) {
   EXPECT_EQ(M.level(), 0);
 }
 
+/// Token-ring monitor: thread T blocks on `turn == T`, then passes the
+/// token on. Every handoff is one monitor exit whose relay wakeup is
+/// deferred past the unlock — the densest possible exercise of the
+/// deferred-signal path.
+class RingMonitor : public Monitor {
+public:
+  explicit RingMonitor(MonitorConfig Cfg) : Monitor(Cfg) {}
+
+  void pass(int64_t Me, int64_t Next) {
+    Region R(*this);
+    waitUntil(Turn == Me);
+    Turn = Next;
+  }
+
+  int64_t turn() {
+    Region R(*this);
+    return Turn.get();
+  }
+
+private:
+  Shared<int64_t> Turn{*this, "turn", 0};
+};
+
+TEST(RelayDeferredWakeTest, TokenRingHandoffsOnBothBackends) {
+  // Monitor::exit picks the relay winner under the lock but issues the
+  // condvar signal after releasing it. A lost or misordered deferred
+  // wakeup shows up as a hang (ctest timeout) or a wrong final token.
+  // Runs under TSan in CI: the post-unlock signal must not race record
+  // reuse or the condvar counters.
+  for (sync::Backend B : {sync::Backend::Std, sync::Backend::Futex}) {
+    for (SignalPolicy P :
+         {SignalPolicy::Tagged, SignalPolicy::LinearScan,
+          SignalPolicy::Broadcast}) {
+      MonitorConfig Cfg;
+      Cfg.Policy = P;
+      Cfg.Backend = B;
+      RingMonitor M(Cfg);
+      constexpr int64_t Threads = 4;
+      constexpr int64_t Rounds = 200;
+      std::vector<std::thread> Pool;
+      for (int64_t T = 0; T != Threads; ++T) {
+        Pool.emplace_back([&M, T] {
+          for (int64_t I = 0; I != Rounds; ++I) {
+            int64_t Me = I * Threads + T;
+            M.pass(Me, Me + 1);
+          }
+        });
+      }
+      for (auto &T : Pool)
+        T.join();
+      EXPECT_EQ(M.turn(), Threads * Rounds)
+          << sync::backendName(B) << "/" << signalPolicyName(P);
+      EXPECT_EQ(M.conditionManager().numWaiters(), 0);
+      EXPECT_EQ(M.conditionManager().pendingSignals(), 0);
+    }
+  }
+}
+
 TEST(RelayStressTest, MixedDemandsManyRounds) {
   // Heavier randomized stress across both relay policies.
   for (SignalPolicy P : {SignalPolicy::Tagged, SignalPolicy::LinearScan}) {

@@ -18,10 +18,12 @@ using testutil::Vars;
 namespace {
 
 /// A registered predicate with its derived tags, as the condition manager
-/// would hold it.
+/// would hold it. NoneIdx is the intrusive None-list position the index
+/// maintains for None-tagged records.
 struct StubRecord {
   ExprRef Pred = nullptr;
   std::vector<Tag> Tags;
+  size_t NoneIdx = TagIndex<StubRecord>::InvalidPos;
 };
 
 class TagIndexTest : public ::testing::Test {
@@ -292,8 +294,9 @@ TEST_F(TagIndexTest, RandomizedAddRemoveChurnStaysConsistent) {
           [&](StubRecord *Rec) { return evalBool(Rec->Pred, State); });
       ASSERT_EQ(Found != nullptr, OracleHasTrue)
           << "round " << Round << " step " << Step;
-      if (Found)
+      if (Found) {
         ASSERT_TRUE(evalBool(Found->Pred, State));
+      }
     }
 
     // Drain: the index must come back exactly empty.

@@ -58,7 +58,9 @@ int usage(const char *Argv0, int Code) {
       "  --rate=R               open-loop tokens/sec per source\n"
       "  --seed=S               workload seed (default: 1)\n"
       "  --json=PATH            output file (default: BENCH_workload.json;\n"
-      "                         '-' for pure JSON on stdout, '' to skip)\n",
+      "                         '-' for pure JSON on stdout, '' to skip)\n"
+      "  --assert-plan-cache    fail unless every automatic (relay-policy)\n"
+      "                         run served waits from the plan cache\n",
       Argv0);
   return Code;
 }
@@ -124,6 +126,7 @@ int main(int Argc, char **Argv) {
   std::vector<sync::Backend> Backends = {sync::Backend::Std};
   RunConfig Base;
   std::string JsonPath = "BENCH_workload.json";
+  bool AssertPlanCache = false;
 
   for (int I = 1; I != Argc; ++I) {
     const char *Arg = Argv[I];
@@ -233,6 +236,8 @@ int main(int Argc, char **Argv) {
       }
     } else if ((V = matchFlag(Arg, "--json"))) {
       JsonPath = V;
+    } else if (std::strcmp(Arg, "--assert-plan-cache") == 0) {
+      AssertPlanCache = true;
     } else {
       std::fprintf(stderr, "%s: unknown option '%s'\n", Argv[0], Arg);
       return usage(Argv[0], 2);
@@ -298,6 +303,31 @@ int main(int Argc, char **Argv) {
   if (HumanOutput)
     Summary.print();
 
+  if (AssertPlanCache) {
+    // Every relay-policy (automatic, non-broadcast) run must have served
+    // its waituntil calls through the plan cache: no uncached-pipeline
+    // waits, and the cache actually consulted. Broadcast and Explicit
+    // runs have no plan path by design.
+    for (const ScenarioReport &R : Reports) {
+      if (R.Mech != Mechanism::AutoSynch && R.Mech != Mechanism::AutoSynchT)
+        continue;
+      uint64_t Consulted = R.Plan.ShapeBuilds + R.Plan.ShapeHits +
+                           R.Plan.BindHits + R.Plan.ColdBinds;
+      if (R.Plan.LegacyWaits != 0 || Consulted == 0) {
+        std::fprintf(stderr,
+                     "%s: plan-cache assertion failed for %s/%s: "
+                     "legacy_waits=%llu consulted=%llu\n",
+                     Argv[0], mechanismName(R.Mech),
+                     sync::backendName(R.Backend),
+                     static_cast<unsigned long long>(R.Plan.LegacyWaits),
+                     static_cast<unsigned long long>(Consulted));
+        return 1;
+      }
+    }
+    if (HumanOutput)
+      std::printf("# plan-cache assertion: ok\n");
+  }
+
   if (JsonPath.empty())
     return 0;
 
@@ -316,7 +346,7 @@ int main(int Argc, char **Argv) {
   JsonWriter J(*OS);
   J.beginObject()
       .member("tool", "autosynch-workbench")
-      .member("version", 1)
+      .member("version", 2) // 2: added per-run "plan_cache" counters.
       .member("scenario", Scenario->Name)
       .member("description", Scenario->Description)
       .member("tokens_per_source", Base.TokensPerSource)
