@@ -10,6 +10,9 @@
 #include "expr/Eval.h"
 #include "expr/Subst.h"
 #include "plan/PlanCache.h"
+#include "sync/Counters.h"
+
+#include <bit>
 
 using namespace autosynch;
 
@@ -23,6 +26,16 @@ const char *autosynch::signalPolicyName(SignalPolicy P) {
     return "broadcast";
   }
   AUTOSYNCH_UNREACHABLE("invalid SignalPolicy");
+}
+
+const char *autosynch::relayFilterName(RelayFilter F) {
+  switch (F) {
+  case RelayFilter::Always:
+    return "always";
+  case RelayFilter::DirtySet:
+    return "dirty";
+  }
+  AUTOSYNCH_UNREACHABLE("invalid RelayFilter");
 }
 
 ConditionManager::ConditionManager(sync::Mutex &MonitorLock,
@@ -55,18 +68,57 @@ size_t ConditionManager::SigHash::hash(const SigEntry *P, size_t N) {
 ConditionManager::~ConditionManager() {
   AUTOSYNCH_CHECK(TotalWaiters == 0,
                   "destroying a monitor with blocked waiters");
+  flushRelayCounters();
+}
+
+void ConditionManager::flushRelayCounters() {
+  sync::RelayCountersSnapshot Cur{Stats.RelayCalls, Stats.RelayDirtySkips,
+                                  Stats.Search.FilteredExprs,
+                                  Stats.StampShortCircuits};
+  sync::RelayCounters::global().add(Cur - FlushedRelay);
+  FlushedRelay = Cur;
 }
 
 //===----------------------------------------------------------------------===//
 // Predicate evaluation
 //===----------------------------------------------------------------------===//
 
-bool ConditionManager::recordTrue(Record *R) {
+bool ConditionManager::evalRecord(Record *R) const {
   // Slot programs read the monitor's shared state straight out of the
   // backing array — no virtual Env dispatch on the relay hot path.
   if (R->Code.valid())
     return R->Code.runRawBool(Slots.data(), nullptr);
   return evalBool(R->Canonical, SharedEnv);
+}
+
+uint64_t ConditionManager::readSetVersion(const VarSet &S) const {
+  if (S.universal())
+    return GlobalVersion;
+  uint64_t V = 0;
+  for (uint64_t M = S.mask(); M != 0; M &= M - 1) {
+    auto B = static_cast<size_t>(std::countr_zero(M));
+    if (B < SlotVersions.size() && SlotVersions[B] > V)
+      V = SlotVersions[B];
+  }
+  return V;
+}
+
+bool ConditionManager::recordTrue(Record *R) {
+  if (Cfg.Filter != RelayFilter::DirtySet)
+    return evalRecord(R);
+
+  // Predicates are pure functions of the shared slots, so an unchanged
+  // read-set version means an unchanged truth value: a current false-stamp
+  // answers without touching the bytecode.
+  uint64_t Ver = readSetVersion(R->ReadSet);
+  if (R->StampValid && R->FalseVersion == Ver) {
+    ++Stats.StampShortCircuits;
+    return false;
+  }
+  bool True = evalRecord(R);
+  R->StampValid = !True;
+  R->FalseVersion = Ver;
+  return True;
 }
 
 //===----------------------------------------------------------------------===//
@@ -92,6 +144,9 @@ ConditionManager::lookupOrRegister(ExprRef Canonical, Dnf D) {
   R->Canonical = Canonical;
   R->D = std::move(D);
   R->Tags = deriveTags(Arena, R->D, Syms);
+  // Registered predicates are globalized (shared variables only), so the
+  // whole variable set of the canonical form is the read set.
+  collectVars(Canonical, R->ReadSet);
   if (!CondPool.empty()) {
     R->Cond = std::move(CondPool.back());
     CondPool.pop_back();
@@ -124,6 +179,10 @@ void ConditionManager::park(Record *R) {
 void ConditionManager::activate(Record *R) {
   if (R->Active)
     return;
+  // Revival invalidates the false-stamp: cheap (one eval on the next
+  // check), and it keeps "stamps are only trusted on records that stayed
+  // active" a local invariant instead of a whole-lifecycle proof.
+  R->StampValid = false;
   uint64_t T0 = Timers.start();
   if (Cfg.Policy == SignalPolicy::Tagged)
     for (const Tag &T : R->Tags)
@@ -201,8 +260,13 @@ void ConditionManager::registerPredicate(ExprRef Pred) {
 // Relay signaling (§4.2)
 //===----------------------------------------------------------------------===//
 
-ConditionManager::Record *ConditionManager::linearScanFindTrue() {
+ConditionManager::Record *
+ConditionManager::linearScanFindTrue(const VarSet *Dirty) {
   for (Record *R : ActiveList) {
+    if (Dirty && !Dirty->intersects(R->ReadSet)) {
+      ++Stats.Search.FilteredExprs;
+      continue;
+    }
     ++Stats.Search.PredicateChecks;
     if (recordTrue(R))
       return R;
@@ -210,22 +274,28 @@ ConditionManager::Record *ConditionManager::linearScanFindTrue() {
   return nullptr;
 }
 
-ConditionManager::Record *ConditionManager::taggedFindTrue() {
+ConditionManager::Record *ConditionManager::taggedFindTrue(const VarSet *Dirty) {
   return Index.findTrue(
       [&](ExprRef SharedExpr) { return eval(SharedExpr, SharedEnv).raw(); },
       [&](Record *R) {
         ++Stats.Search.PredicateChecks;
         return recordTrue(R);
       },
-      &Stats.Search);
+      &Stats.Search, Dirty);
 }
 
 void ConditionManager::relaySignal(DeferredWake *Defer) {
   uint64_t T0 = Timers.start();
-  ++Stats.RelayCalls;
+  // The process-wide counters are fed in batches, not per exit: a shared
+  // fetch_add here would put cross-monitor cache-line contention on the
+  // very path the dirty skip makes cheap.
+  if ((++Stats.RelayCalls & 63) == 0)
+    flushRelayCounters();
 
   if (Cfg.Policy == SignalPolicy::Broadcast) {
     // Baseline: wake everyone; each waiter re-evaluates its own predicate.
+    // Deliberately unfiltered — the baseline's behavior is a paper
+    // comparison point and must stay bit-for-bit.
     if (BroadcastWaiters > 0) {
       if (Defer) {
         Defer->Cond = BroadcastCond.get();
@@ -241,20 +311,34 @@ void ConditionManager::relaySignal(DeferredWake *Defer) {
 
   // A signaled thread that has not resumed yet is active (Definition 3);
   // relay invariance already holds, and that thread will re-relay if its
-  // predicate has been falsified in the meantime.
+  // predicate has been falsified in the meantime. The dirty set is left
+  // untouched: the in-flight thread's relay must still see these writes.
   if (PendingTotal > 0) {
     ++Stats.RelaySkips;
     Timers.stop(PhaseTimers::Relay, T0);
     return;
   }
 
-  Record *R = Cfg.Policy == SignalPolicy::Tagged ? taggedFindTrue()
-                                                 : linearScanFindTrue();
+  const bool Filtered = Cfg.Filter == RelayFilter::DirtySet;
+  if (Filtered && AccumDirty.empty()) {
+    // Nothing changed since the last empty-handed scan proved every
+    // active predicate false — the read-only-exit fast path: no shared-
+    // expression evaluation, no predicate check, no heap visit.
+    ++Stats.RelayDirtySkips;
+    Timers.stop(PhaseTimers::Relay, T0);
+    return;
+  }
+
+  const VarSet *Dirty = Filtered ? &AccumDirty : nullptr;
+  Record *R = Cfg.Policy == SignalPolicy::Tagged ? taggedFindTrue(Dirty)
+                                                 : linearScanFindTrue(Dirty);
   if (R) {
     // All bookkeeping happens here, under the lock, at pick time; only the
     // condvar notification itself may be deferred past the unlock. The
     // non-zero PendingSignals keeps the record alive (eviction refuses
-    // records in use) until the signaled thread resumes.
+    // records in use) until the signaled thread resumes. The dirty set
+    // survives a successful pick: the scan stopped early, so unvisited
+    // records may owe their (unknown) truth to the same writes.
     if (Defer)
       Defer->Cond = R->Cond.get();
     else
@@ -262,6 +346,10 @@ void ConditionManager::relaySignal(DeferredWake *Defer) {
     ++R->PendingSignals;
     ++PendingTotal;
     ++Stats.SignalsSent;
+  } else if (Filtered) {
+    // Empty-handed scan: every active predicate is (re-)proven false
+    // under the current state, so the accumulated dirt is discharged.
+    AccumDirty.clear();
   }
   Timers.stop(PhaseTimers::Relay, T0);
 }

@@ -22,8 +22,40 @@
 /// falsified it re-runs the relay itself, preserving the invariance chain
 /// of Proposition 2.
 ///
+/// Dirty-set-directed relays (MonitorConfig::RelayFilter::DirtySet, the
+/// default): Monitor::writeSlot reports every value-changing shared write
+/// to noteWrite(), which accumulates the written VarIds in a dirty set and
+/// bumps a per-variable version counter. The invariant the filter rests on:
+///
+///   every active (waiter-holding) predicate whose read set does not
+///   intersect the accumulated dirty set is false.
+///
+/// It holds because a scan that returns empty-handed has just (re-)proven
+/// every active predicate false — only then is the dirty set cleared — and
+/// a predicate over unchanged variables cannot change truth value. Three
+/// consequences shape the code:
+///
+///  * A relay with an empty dirty set skips the search outright (the
+///    read-only-exit fast path; Stats.RelayDirtySkips).
+///  * A scan that *finds* a winner must NOT clear the dirty set: the scan
+///    stopped early, so records it never reached may have been made true
+///    by the same writes, and the relay chain (the winner re-relays on its
+///    own exit) must still see them as suspect. For the same reason a
+///    relay skipped because a signal is in flight (PendingTotal > 0) may
+///    not clear or consume the set — the in-flight thread's later relay
+///    inherits the accumulated dirt, so no write is ever dropped on the
+///    floor between two scans.
+///  * Version stamps piggyback on the same counters: recordTrue() stamps a
+///    record with the newest version among its read set whenever it
+///    evaluates false, and later checks answer "still false" without
+///    running the bytecode while that stamp is current
+///    (Stats.StampShortCircuits). Stamps are discarded on (re)activation,
+///    and eviction destroys the record with its stamp, so cache churn can
+///    never resurrect a stale proof.
+///
 /// All member functions require the monitor lock to be held by the caller
-/// (the Monitor wrapper enforces this).
+/// (the Monitor wrapper enforces this); the dirty set, version counters,
+/// and stamps are all guarded by that lock.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -35,7 +67,9 @@
 #include "expr/Bytecode.h"
 #include "expr/Env.h"
 #include "expr/SymbolTable.h"
+#include "expr/VarSet.h"
 #include "plan/WaitPlan.h"
+#include "sync/Counters.h"
 #include "tag/TagIndex.h"
 
 #include <cstdint>
@@ -51,6 +85,11 @@ struct ManagerStats {
   uint64_t Waits = 0;         ///< await() calls that actually blocked.
   uint64_t RelayCalls = 0;    ///< relaySignal() invocations.
   uint64_t RelaySkips = 0;    ///< Relays skipped (a signal was in flight).
+  uint64_t RelayDirtySkips = 0; ///< Relays skipped: empty dirty set (no
+                                ///< shared variable changed since the last
+                                ///< empty-handed scan).
+  uint64_t StampShortCircuits = 0; ///< recordTrue() answers proven by the
+                                   ///< version stamp without evaluating.
   uint64_t SignalsSent = 0;   ///< Directed signals issued.
   uint64_t BroadcastSignals = 0; ///< signalAll calls (Broadcast policy).
   uint64_t Registrations = 0; ///< Predicates added to the table.
@@ -58,7 +97,8 @@ struct ManagerStats {
   uint64_t Evictions = 0;     ///< Predicates evicted from the cache.
   uint64_t PlanBindHits = 0;  ///< Plan signatures served by the bind table.
   uint64_t PlanColdBinds = 0; ///< Plan signatures resolved the long way.
-  TagSearchStats Search;      ///< Tag-directed search work.
+  TagSearchStats Search;      ///< Tag-directed search work; the relay
+                              ///< filter's skip count is Search.FilteredExprs.
 };
 
 /// A wakeup picked under the monitor lock but issued after it is released
@@ -132,12 +172,31 @@ public:
   /// wait. Predicates that canonicalize to true/false are ignored.
   void registerPredicate(ExprRef Pred);
 
+  /// Records that shared variable \p Id changed value: unions it into the
+  /// relay dirty set and bumps its version counter. Called by
+  /// Monitor::writeSlot under the monitor lock; a no-op when the dirty-set
+  /// filter is off or the policy is Broadcast.
+  void noteWrite(VarId Id) {
+    if (Cfg.Filter != RelayFilter::DirtySet ||
+        Cfg.Policy == SignalPolicy::Broadcast)
+      return;
+    ++GlobalVersion;
+    if (Id >= SlotVersions.size())
+      SlotVersions.resize(Id + 1, 0);
+    SlotVersions[Id] = GlobalVersion;
+    AccumDirty.add(Id);
+  }
+
   //===--------------------------------------------------------------------===//
   // Introspection
   //===--------------------------------------------------------------------===//
 
   const ManagerStats &stats() const { return Stats; }
-  void resetStats() { Stats = ManagerStats(); }
+  void resetStats() {
+    flushRelayCounters(); // Keep the process-wide totals exact.
+    Stats = ManagerStats();
+    FlushedRelay = sync::RelayCountersSnapshot();
+  }
 
   PhaseTimers &timers() { return Timers; }
 
@@ -162,6 +221,14 @@ private:
     std::vector<Tag> Tags;
     std::unique_ptr<sync::Condition> Cond;
     CompiledPredicate Code;
+    /// Shared variables the predicate reads; drives the relay filter.
+    VarSet ReadSet;
+    /// Version-stamp of the last false evaluation: while no read-set
+    /// variable has a newer version, the predicate is still false and
+    /// recordTrue() answers without running the bytecode. Invalidated on
+    /// activation (StampValid = false).
+    uint64_t FalseVersion = 0;
+    bool StampValid = false;
     int Waiters = 0;
     int PendingSignals = 0;
     bool Active = false;
@@ -232,15 +299,28 @@ private:
   /// predicate holds, deactivate when the last waiter leaves.
   void waitOnRecord(Record *R);
 
-  /// Full predicate check under the current shared state.
+  /// Full predicate check under the current shared state, answered by the
+  /// false-stamp when it is still current (DirtySet filter only).
   bool recordTrue(Record *R);
 
+  /// Runs the record's predicate (bytecode or tree walk), no stamping.
+  bool evalRecord(Record *R) const;
+
+  /// Newest version among \p S's variables (the stamp domain).
+  uint64_t readSetVersion(const VarSet &S) const;
+
   /// Relay search under the LinearScan policy: evaluate active predicates
-  /// one by one.
-  Record *linearScanFindTrue();
+  /// one by one, skipping those \p Dirty proves unchanged-false.
+  Record *linearScanFindTrue(const VarSet *Dirty);
 
   /// Relay search under the Tagged policy (TagIndex::findTrue).
-  Record *taggedFindTrue();
+  Record *taggedFindTrue(const VarSet *Dirty);
+
+  /// Folds the delta of the per-monitor relay stats since the last flush
+  /// into the process-wide sync::RelayCounters. Called every few dozen
+  /// relays, on destruction, and from resetStats — never per exit, so the
+  /// hot path touches no shared atomics.
+  void flushRelayCounters();
 
   void awaitBroadcast(ExprRef Pred, const Env &Locals);
 
@@ -288,7 +368,17 @@ private:
   int PendingTotal = 0;
   uint64_t UseTick = 0;
 
+  /// Dirty-set relay state (all guarded by the monitor lock): variables
+  /// written since the last empty-handed relay scan, the global write
+  /// tick, and per-variable last-write versions (indexed by VarId, grown
+  /// lazily). See the file comment for the invariant.
+  VarSet AccumDirty;
+  uint64_t GlobalVersion = 0;
+  std::vector<uint64_t> SlotVersions;
+
   ManagerStats Stats;
+  /// Portion of Stats already folded into sync::RelayCounters::global().
+  sync::RelayCountersSnapshot FlushedRelay;
 };
 
 } // namespace autosynch

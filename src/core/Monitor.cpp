@@ -38,7 +38,13 @@ Value Monitor::readSlot(VarId Id) const {
 void Monitor::writeSlot(VarId Id, Value V, bool RequireOwned) {
   AUTOSYNCH_CHECK(!RequireOwned || ownedByCaller(),
                   "shared variable write outside the monitor");
+  // A write that does not change the value cannot change any predicate:
+  // it neither dirties the relay set nor bumps the variable's version, so
+  // idempotent stores keep the read-only-exit fast path.
+  if (Slots[Id] == V)
+    return;
   Slots[Id] = V;
+  Mgr.noteWrite(Id);
 }
 
 //===----------------------------------------------------------------------===//
@@ -99,11 +105,17 @@ void Monitor::waitUntilImpl(ExprRef Pred, const Env &Locals, bool Edsl,
 
 void Monitor::dispatchWait(ExprRef Pred, const Env &Locals, bool Edsl,
                            ParseEntry *Entry) {
-  if (!Cfg.UsePlanCache || Cfg.Policy == SignalPolicy::Broadcast) {
+  if (!Cfg.UsePlanCache) {
     PlanCounters::global().onLegacyWait();
     Mgr.await(Pred, Locals);
     return;
   }
+
+  // Broadcast has no registered predicates, so plans cannot resolve waits
+  // for it — but the allocation-free already-true precheck applies to any
+  // policy. Blocking Broadcast waits fall through to the uncached
+  // pipeline below with wakeup semantics untouched.
+  const bool Broadcast = Cfg.Policy == SignalPolicy::Broadcast;
 
   Value Bound[WaitPlan::MaxSlots];
   size_t NumBound = 0;
@@ -133,6 +145,11 @@ void Monitor::dispatchWait(ExprRef Pred, const Env &Locals, bool Edsl,
   if (Plan->kind() == WaitPlan::Kind::Ground) {
     if (Plan->code().runRawBool(Slots.data(), nullptr))
       return; // Fast path: already true (Fig. 6 checks P first).
+    if (Broadcast) {
+      PlanCounters::global().onLegacyWait();
+      Mgr.await(Pred, Locals);
+      return;
+    }
     Mgr.awaitGround(*Plan);
     return;
   }
@@ -145,6 +162,11 @@ void Monitor::dispatchWait(ExprRef Pred, const Env &Locals, bool Edsl,
                     "EDSL binding count diverged from the plan");
   if (Plan->code().runRawBool(Slots.data(), Bound))
     return; // Fast path: already true.
+  if (Broadcast) {
+    PlanCounters::global().onLegacyWait();
+    Mgr.await(Pred, Locals);
+    return;
+  }
 
   SigEntry Sig[WaitPlan::MaxSigEntries];
   size_t N = 0;

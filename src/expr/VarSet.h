@@ -1,0 +1,118 @@
+//===- expr/VarSet.h - Fixed-size variable bitmasks ------------*- C++ -*-===//
+//
+// Part of AutoSynch-C++, a reproduction of "AutoSynch: An Automatic-Signal
+// Monitor Based on Predicate Tagging" (Hung & Garg, PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A fixed-size set of VarIds, used by the dirty-set relay filter: the
+/// monitor records which shared variables a region wrote (the *dirty set*)
+/// and each registered predicate carries the variables it reads (its
+/// *read set*); relay signaling then skips every predicate whose read set
+/// cannot intersect the dirty set.
+///
+/// The representation is one 64-bit word. Monitors declare a handful of
+/// shared variables, so VarIds above the word width are rare; such an id
+/// *saturates* the set to "universal", which is conservative in both
+/// directions the filter needs — a universal dirty set scans everything,
+/// a universal read set is never filtered out. Correctness never depends
+/// on the set being exact, only on it never under-approximating.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AUTOSYNCH_EXPR_VARSET_H
+#define AUTOSYNCH_EXPR_VARSET_H
+
+#include "expr/Expr.h"
+#include "expr/SymbolTable.h"
+
+#include <cstdint>
+
+namespace autosynch {
+
+/// A saturating bitmask of VarIds (see file comment).
+class VarSet {
+public:
+  /// VarIds at or above this saturate the set to universal.
+  static constexpr VarId MaxDirect = 64;
+
+  void add(VarId Id) {
+    if (Id >= MaxDirect)
+      All = true;
+    else
+      Mask |= uint64_t{1} << Id;
+  }
+
+  void unionWith(const VarSet &O) {
+    Mask |= O.Mask;
+    All = All || O.All;
+  }
+
+  /// Whether the two sets can share a variable. Universal sets intersect
+  /// every non-empty set; the empty set intersects nothing.
+  bool intersects(const VarSet &O) const {
+    if (empty() || O.empty())
+      return false;
+    if (All || O.All)
+      return true;
+    return (Mask & O.Mask) != 0;
+  }
+
+  bool contains(VarId Id) const {
+    if (All)
+      return true;
+    return Id < MaxDirect && ((Mask >> Id) & 1) != 0;
+  }
+
+  bool empty() const { return Mask == 0 && !All; }
+  bool universal() const { return All; }
+  void clear() {
+    Mask = 0;
+    All = false;
+  }
+
+  /// The direct-member word (meaningless when universal()).
+  uint64_t mask() const { return Mask; }
+
+  bool operator==(const VarSet &O) const {
+    return Mask == O.Mask && All == O.All;
+  }
+
+private:
+  uint64_t Mask = 0;
+  bool All = false;
+};
+
+/// Adds every variable mentioned by \p E to \p Out.
+inline void collectVars(ExprRef E, VarSet &Out) {
+  if (E->kind() == ExprKind::Var) {
+    Out.add(E->varId());
+    return;
+  }
+  for (unsigned I = 0; I != E->numOperands(); ++I)
+    collectVars(E->operand(I), Out);
+}
+
+/// The Shared-scoped variables \p E mentions — the read set of a predicate
+/// over the monitor's state. Registered predicates are globalized, so for
+/// them this equals collectVars; shapes with symbolic locals need the
+/// scope filter.
+inline VarSet sharedReadSet(ExprRef E, const SymbolTable &Syms) {
+  VarSet Out;
+  auto Walk = [&](auto &&Self, ExprRef N) -> void {
+    if (N->kind() == ExprKind::Var) {
+      if (Syms.isShared(N->varId()))
+        Out.add(N->varId());
+      return;
+    }
+    for (unsigned I = 0; I != N->numOperands(); ++I)
+      Self(Self, N->operand(I));
+  };
+  Walk(Walk, E);
+  return Out;
+}
+
+} // namespace autosynch
+
+#endif // AUTOSYNCH_EXPR_VARSET_H

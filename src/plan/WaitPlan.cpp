@@ -354,6 +354,8 @@ std::unique_ptr<WaitPlan> WaitPlan::build(ExprArena &Arena,
     return {ResolvedVar::Kind::Local, static_cast<uint32_t>(I)};
   };
 
+  P->ReadSet = sharedReadSet(P->CP.Expr, Syms);
+
   if (P->Slots.empty()) {
     P->K = Kind::Ground;
     P->Code = CompiledPredicate::compile(P->CP.Expr, Resolver);

@@ -47,6 +47,7 @@
 #include "dnf/Dnf.h"
 #include "expr/Bytecode.h"
 #include "expr/SymbolTable.h"
+#include "expr/VarSet.h"
 
 #include <memory>
 #include <vector>
@@ -133,6 +134,13 @@ public:
   /// bound locals); the allocation-free fast-path check.
   const CompiledPredicate &code() const { return Code; }
 
+  /// The shared variables the canonical shape reads, computed once at
+  /// build time (meaningful for Ground and Slotted plans). Every ground
+  /// predicate a binding of this plan registers reads a subset of these
+  /// variables, so the dirty-set relay's per-record read sets agree with
+  /// the plan-level one regardless of front end.
+  const VarSet &readSet() const { return ReadSet; }
+
   /// Binds local values out of \p Locals into \p Out (size >= MaxSlots) in
   /// slot order. Fatal error on an unbound or type-mismatched local.
   void bindFromEnv(const Env &Locals, Value *Out) const;
@@ -188,6 +196,7 @@ private:
   Kind K = Kind::Legacy;
   ExprRef Shape = nullptr;
   CanonicalPredicate CP;
+  VarSet ReadSet;
   std::vector<Slot> Slots;
   std::vector<ConjTemplate> Conjs;
   CompiledPredicate Code;

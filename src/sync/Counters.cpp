@@ -13,3 +13,8 @@ Counters &Counters::global() {
   static Counters Instance;
   return Instance;
 }
+
+RelayCounters &RelayCounters::global() {
+  static RelayCounters Instance;
+  return Instance;
+}

@@ -98,6 +98,62 @@ private:
   std::atomic<bool> TimingEnabled{false};
 };
 
+/// Snapshot of the process-wide dirty-set relay counters.
+struct RelayCountersSnapshot {
+  uint64_t RelayCalls = 0;         ///< relaySignal() invocations.
+  uint64_t DirtySkips = 0;         ///< Relays skipped: empty dirty set.
+  uint64_t FilteredExprs = 0;      ///< Index entries skipped by read-set
+                                   ///< intersection during relay scans.
+  uint64_t StampShortCircuits = 0; ///< Predicate checks answered by the
+                                   ///< false-stamp, no evaluation run.
+
+  RelayCountersSnapshot operator-(const RelayCountersSnapshot &R) const {
+    return {RelayCalls - R.RelayCalls, DirtySkips - R.DirtySkips,
+            FilteredExprs - R.FilteredExprs,
+            StampShortCircuits - R.StampShortCircuits};
+  }
+};
+
+/// Process-wide counters of dirty-set relay behavior, aggregated across
+/// every monitor (the per-monitor numbers live in ManagerStats). The
+/// condition manager batches its lock-guarded stats into these atomics
+/// every few dozen relays (and on destruction/reset) rather than touching
+/// a shared cache line on every monitor exit; totals therefore trail the
+/// per-monitor stats by at most one batch until the monitor flushes.
+class RelayCounters {
+public:
+  static RelayCounters &global();
+
+  /// Adds a per-monitor delta (see ConditionManager::flushRelayCounters).
+  void add(const RelayCountersSnapshot &D) {
+    RelayCalls.fetch_add(D.RelayCalls, std::memory_order_relaxed);
+    DirtySkips.fetch_add(D.DirtySkips, std::memory_order_relaxed);
+    FilteredExprs.fetch_add(D.FilteredExprs, std::memory_order_relaxed);
+    StampShortCircuits.fetch_add(D.StampShortCircuits,
+                                 std::memory_order_relaxed);
+  }
+
+  RelayCountersSnapshot snapshot() const {
+    return {RelayCalls.load(std::memory_order_relaxed),
+            DirtySkips.load(std::memory_order_relaxed),
+            FilteredExprs.load(std::memory_order_relaxed),
+            StampShortCircuits.load(std::memory_order_relaxed)};
+  }
+
+  void reset() {
+    RelayCalls.store(0, std::memory_order_relaxed);
+    DirtySkips.store(0, std::memory_order_relaxed);
+    FilteredExprs.store(0, std::memory_order_relaxed);
+    StampShortCircuits.store(0, std::memory_order_relaxed);
+  }
+
+private:
+  std::atomic<uint64_t> RelayCalls{0};
+  std::atomic<uint64_t> DirtySkips{0};
+  std::atomic<uint64_t> FilteredExprs{0};
+  std::atomic<uint64_t> StampShortCircuits{0};
+};
+
 } // namespace autosynch::sync
 
 #endif // AUTOSYNCH_SYNC_COUNTERS_H

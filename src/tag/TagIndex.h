@@ -21,6 +21,7 @@
 #ifndef AUTOSYNCH_TAG_TAGINDEX_H
 #define AUTOSYNCH_TAG_TAGINDEX_H
 
+#include "expr/VarSet.h"
 #include "tag/Tag.h"
 #include "tag/ThresholdHeap.h"
 
@@ -32,8 +33,14 @@ namespace autosynch {
 /// supplied by the condition manager; tests instantiate it with a stub.
 ///
 /// RecordT must expose a `size_t NoneIdx` member initialized to
-/// TagIndex::InvalidPos: the index stores a record's position in the None
-/// list intrusively, so None-tag activation/deactivation does no hashing.
+/// TagIndex::InvalidPos — the index stores a record's position in the None
+/// list intrusively, so None-tag activation/deactivation does no hashing —
+/// and a `VarSet ReadSet` member naming the shared variables the record's
+/// predicate reads. Each per-expression group maintains a *cover set*, the
+/// union of the read sets of every record added to it: findTrue can then
+/// skip whole groups whose cover cannot intersect the caller's dirty set.
+/// The cover is not shrunk on remove (stale bits only widen the scan,
+/// never lose one) and dies with the group when its last tag is removed.
 template <typename RecordT> class TagIndex {
 public:
   static constexpr size_t InvalidPos = static_cast<size_t>(-1);
@@ -49,6 +56,7 @@ public:
     }
 
     PerExpr &P = byExpr(T.SharedExpr);
+    P.Cover.unionWith(R->ReadSet);
     if (T.Kind == TagKind::Equivalence) {
       P.Eq[T.Key].push_back(R);
       return;
@@ -98,10 +106,22 @@ public:
   /// Order (paper Fig. 7): per shared expression, the equivalence bucket
   /// for the current value, then the two threshold heaps; finally the None
   /// list, exhaustively.
+  ///
+  /// With \p Dirty set, only entries whose read sets intersect it are
+  /// visited: per-expression groups are pruned through their cover sets,
+  /// None-list records individually. The caller guarantees every record
+  /// whose read set misses \p Dirty is known false (the dirty-set relay
+  /// invariant), so pruned entries cannot be the answer.
   template <typename EvalSharedFn, typename IsTrueFn>
   RecordT *findTrue(EvalSharedFn &&EvalShared, IsTrueFn &&IsTrue,
-                    TagSearchStats *Stats = nullptr) {
+                    TagSearchStats *Stats = nullptr,
+                    const VarSet *Dirty = nullptr) {
     for (auto &[SharedExpr, P] : Exprs) {
+      if (Dirty && !Dirty->intersects(P.Cover)) {
+        if (Stats)
+          ++Stats->FilteredExprs;
+        continue;
+      }
       int64_t V = EvalShared(SharedExpr);
       if (Stats)
         ++Stats->SharedExprEvals;
@@ -130,6 +150,11 @@ public:
 
     // Exhaustive fallback over untaggable predicates.
     for (RecordT *R : NoneList) {
+      if (Dirty && !Dirty->intersects(R->ReadSet)) {
+        if (Stats)
+          ++Stats->FilteredExprs;
+        continue;
+      }
       if (Stats) {
         ++Stats->NoneScans;
         ++Stats->PredicateChecks;
@@ -148,6 +173,9 @@ public:
 
 private:
   struct PerExpr {
+    /// Union of the read sets of every record added under this expression
+    /// (grows only; see class comment).
+    VarSet Cover;
     std::unordered_map<int64_t, std::vector<RecordT *>> Eq;
     ThresholdHeap<RecordT> LowerBound{
         ThresholdHeap<RecordT>::Direction::LowerBound};

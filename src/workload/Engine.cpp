@@ -237,6 +237,12 @@ ScenarioReport Engine::run() {
   AUTOSYNCH_CHECK(Problem.empty(),
                   ("invalid scenario: " + Problem).c_str());
 
+  // Install the run's relay filter before any monitor is instantiated
+  // (the problem factories read it through configFor()); restored before
+  // returning so a sweep cell cannot leak its filter into later runs.
+  RelayFilter PrevFilter = defaultRelayFilter();
+  setDefaultRelayFilter(Cfg.Filter);
+
   std::vector<int64_t> Counts =
       simulateTokenCounts(Spec, Cfg.TokensPerSource);
 
@@ -313,6 +319,8 @@ ScenarioReport Engine::run() {
 
   sync::CountersSnapshot Sync0 = sync::Counters::global().snapshot();
   PlanCountersSnapshot Plan0 = PlanCounters::global().snapshot();
+  sync::RelayCountersSnapshot Relay0 =
+      sync::RelayCounters::global().snapshot();
   StartGate.arrive_and_wait();
   Stopwatch Watch;
   for (std::thread &T : Pool)
@@ -324,6 +332,7 @@ ScenarioReport Engine::run() {
   R.Scenario = Spec.Name;
   R.Mech = Cfg.Mech;
   R.Backend = Cfg.Backend;
+  R.Filter = Cfg.Filter;
   R.TotalTokens = TotalTokens;
   R.TotalThreads = TotalThreads;
   R.WallSeconds = Wall;
@@ -361,6 +370,15 @@ ScenarioReport Engine::run() {
   }
   R.Throughput =
       Wall > 0.0 ? static_cast<double>(SinkTokens) / Wall : 0.0;
+
+  // The monitors feed sync::RelayCounters in batches and flush the
+  // remainder on destruction, so they must be torn down (the stage
+  // reports above are done with them) before the relay delta is taken —
+  // otherwise a run with few relays per monitor reports zeros.
+  Stages.clear();
+  R.Relay = sync::RelayCounters::global().snapshot() - Relay0;
+
+  setDefaultRelayFilter(PrevFilter);
   return R;
 }
 
@@ -388,6 +406,7 @@ void workload::writeReportJson(const ScenarioReport &R, JsonWriter &J) {
       .member("scenario", R.Scenario)
       .member("mechanism", mechanismName(R.Mech))
       .member("backend", sync::backendName(R.Backend))
+      .member("relay_filter", relayFilterName(R.Filter))
       .member("total_tokens", R.TotalTokens)
       .member("total_threads", R.TotalThreads)
       .member("wall_seconds", R.WallSeconds)
@@ -408,6 +427,13 @@ void workload::writeReportJson(const ScenarioReport &R, JsonWriter &J) {
       .member("bind_hits", R.Plan.BindHits)
       .member("cold_binds", R.Plan.ColdBinds)
       .member("legacy_waits", R.Plan.LegacyWaits)
+      .endObject();
+  J.key("relay");
+  J.beginObject()
+      .member("calls", R.Relay.RelayCalls)
+      .member("dirty_skips", R.Relay.DirtySkips)
+      .member("filtered_exprs", R.Relay.FilteredExprs)
+      .member("stamp_short_circuits", R.Relay.StampShortCircuits)
       .endObject();
   J.key("stages");
   J.beginArray();

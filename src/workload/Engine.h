@@ -39,6 +39,10 @@ struct RunConfig {
   Mechanism Mech = Mechanism::AutoSynch;
   sync::Backend Backend = sync::Backend::Std;
 
+  /// Relay filter installed (via setDefaultRelayFilter) for the run's
+  /// monitors; the workbench sweeps it for the dirty-set ablation.
+  RelayFilter Filter = RelayFilter::DirtySet;
+
   /// Tokens each source emits.
   int64_t TokensPerSource = 10000;
 
@@ -74,6 +78,7 @@ struct ScenarioReport {
   std::string Scenario;
   Mechanism Mech = Mechanism::AutoSynch;
   sync::Backend Backend = sync::Backend::Std;
+  RelayFilter Filter = RelayFilter::DirtySet;
   int64_t TotalTokens = 0;
   int TotalThreads = 0;
   double WallSeconds = 0.0;
@@ -86,6 +91,9 @@ struct ScenarioReport {
   /// monitors' waituntil calls were served (bind-table hits vs. cold
   /// resolutions vs. the uncached pipeline).
   PlanCountersSnapshot Plan;
+  /// Dirty-set relay deltas over the run (process-wide): skipped relays,
+  /// read-set-filtered index entries, stamp short-circuits.
+  sync::RelayCountersSnapshot Relay;
   std::vector<StageReport> Stages;
 };
 

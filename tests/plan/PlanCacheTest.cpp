@@ -316,4 +316,42 @@ TEST(PlanCacheTest, UncachedConfigBypassesPlans) {
   EXPECT_EQ(M.conditionManager().stats().Waits, 1u);
 }
 
+TEST(PlanCacheTest, BroadcastAlreadyTrueWaitsUseThePlanPrecheck) {
+  // The Broadcast policy registers no predicates, but its already-true
+  // waits run the plan's allocation-free compiled check: after the shape
+  // is warm, fresh bound values must not grow the arena (the uncached
+  // pipeline would intern a globalized tree per value).
+  MonitorConfig Cfg;
+  Cfg.Policy = SignalPolicy::Broadcast;
+  PoolMonitor M(Cfg);
+  M.deposit(1'000'000);
+  M.withdrawParsed(1); // Warms the parse cache and the plan shape.
+
+  size_t NodesWarm = M.arena().numNodes();
+  for (int64_t N = 2; N != 50; ++N)
+    M.withdrawParsed(N); // Always true: fast path, fresh value each call.
+  EXPECT_EQ(M.arena().numNodes(), NodesWarm)
+      << "broadcast already-true waits must not intern per value";
+  // One plan for the shape, served from the parse-entry memo afterwards.
+  EXPECT_EQ(M.planCache().stats().ShapeBuilds, 1u);
+  // No predicate was ever registered and nothing blocked.
+  EXPECT_EQ(M.conditionManager().stats().Registrations, 0u);
+  EXPECT_EQ(M.conditionManager().stats().Waits, 0u);
+}
+
+TEST(PlanCacheTest, BroadcastBlockingWaitsKeepSignalAllSemantics) {
+  // The precheck must not change how Broadcast blocks or wakes: a
+  // blocking wait still goes through the uncached pipeline and resumes
+  // via signalAll.
+  MonitorConfig Cfg;
+  Cfg.Policy = SignalPolicy::Broadcast;
+  PoolMonitor M(Cfg);
+  blockedWithdraw(M, 5, [&](int64_t V) { M.withdrawParsed(V); });
+  EXPECT_EQ(M.level(), 0);
+  EXPECT_GE(M.conditionManager().stats().BroadcastSignals, 1u);
+  EXPECT_EQ(M.conditionManager().stats().SignalsSent, 0u);
+  EXPECT_EQ(M.conditionManager().stats().Registrations, 0u);
+  EXPECT_EQ(M.conditionManager().numWaiters(), 0);
+}
+
 } // namespace

@@ -19,11 +19,13 @@ namespace {
 
 /// A registered predicate with its derived tags, as the condition manager
 /// would hold it. NoneIdx is the intrusive None-list position the index
-/// maintains for None-tagged records.
+/// maintains for None-tagged records; ReadSet feeds the per-expression
+/// cover sets behind the dirty-set relay filter.
 struct StubRecord {
   ExprRef Pred = nullptr;
   std::vector<Tag> Tags;
   size_t NoneIdx = TagIndex<StubRecord>::InvalidPos;
+  VarSet ReadSet;
 };
 
 class TagIndexTest : public ::testing::Test {
@@ -40,6 +42,7 @@ protected:
     auto Rec = std::make_unique<StubRecord>();
     Rec->Pred = CP.Expr;
     Rec->Tags = deriveTags(A, CP.D, V.Syms);
+    collectVars(CP.Expr, Rec->ReadSet);
     for (const Tag &T : Rec->Tags)
       Index.add(T, Rec.get());
     Records.push_back(std::move(Rec));
@@ -51,10 +54,19 @@ protected:
       Index.remove(T, R);
   }
 
-  StubRecord *find(const Env &State, TagSearchStats *Stats = nullptr) {
+  StubRecord *find(const Env &State, TagSearchStats *Stats = nullptr,
+                   const VarSet *Dirty = nullptr) {
     return Index.findTrue(
         [&](ExprRef E) { return eval(E, State).raw(); },
-        [&](StubRecord *R) { return evalBool(R->Pred, State); }, Stats);
+        [&](StubRecord *R) { return evalBool(R->Pred, State); }, Stats,
+        Dirty);
+  }
+
+  VarSet dirty(std::initializer_list<VarId> Ids) {
+    VarSet S;
+    for (VarId Id : Ids)
+      S.add(Id);
+    return S;
   }
 
   MapEnv state(int64_t X, int64_t Y = 0, int64_t Z = 0, bool Flag = false) {
@@ -307,6 +319,135 @@ TEST_F(TagIndexTest, RandomizedAddRemoveChurnStaysConsistent) {
     EXPECT_EQ(LocalIndex.findTrue([](ExprRef) { return int64_t{0}; },
                                   [](StubRecord *) { return true; }),
               nullptr);
+  }
+}
+
+TEST_F(TagIndexTest, DirtyFilterPrunesDisjointExpressions) {
+  StubRecord *OnX = addPredicate("x >= 5");
+  addPredicate("y == 3");
+
+  // Dirty = {x}: the y-group is pruned without evaluating its expression;
+  // the x-group is scanned and found.
+  TagSearchStats Stats;
+  VarSet DX = dirty({V.X});
+  EXPECT_EQ(find(state(8, /*Y=*/3), &Stats, &DX), OnX);
+  EXPECT_EQ(Stats.FilteredExprs, 1u);
+  EXPECT_EQ(Stats.SharedExprEvals, 1u);
+
+  // Dirty = {z}: both groups pruned; nothing is visited even though both
+  // predicates are true under the state.
+  TagSearchStats Stats2;
+  VarSet DZ = dirty({V.Z});
+  EXPECT_EQ(find(state(8, /*Y=*/3), &Stats2, &DZ), nullptr);
+  EXPECT_EQ(Stats2.FilteredExprs, 2u);
+  EXPECT_EQ(Stats2.SharedExprEvals, 0u);
+  EXPECT_EQ(Stats2.PredicateChecks, 0u);
+
+  // No dirty set: the unfiltered scan still sees everything.
+  EXPECT_NE(find(state(8, /*Y=*/3)), nullptr);
+}
+
+TEST_F(TagIndexTest, CoverSetUnionsRecordReadSets) {
+  // The record is tagged under expression x (equivalence on x == 2), but
+  // its predicate also reads y: a write to y alone must still reach it —
+  // the group filter works on the cover (union of record read sets), not
+  // on the tag expression's own variables.
+  StubRecord *R = addPredicate("x == 2 && y >= 4");
+  TagSearchStats Stats;
+  VarSet DY = dirty({V.Y});
+  EXPECT_EQ(find(state(2, /*Y=*/5), &Stats, &DY), R);
+  EXPECT_EQ(Stats.FilteredExprs, 0u);
+}
+
+TEST_F(TagIndexTest, DirtyFilterPrunesNoneListPerRecord) {
+  StubRecord *NeX = addPredicate("x != 9"); // None tag, reads {x}.
+  StubRecord *NeY = addPredicate("y != 9"); // None tag, reads {y}.
+  TagSearchStats Stats;
+  VarSet DY = dirty({V.Y});
+  EXPECT_EQ(find(state(0, /*Y=*/0), &Stats, &DY), NeY);
+  EXPECT_EQ(Stats.FilteredExprs, 1u); // NeX pruned individually.
+  EXPECT_EQ(Stats.NoneScans, 1u);
+
+  VarSet DX = dirty({V.X});
+  EXPECT_EQ(find(state(0, /*Y=*/0), nullptr, &DX), NeX);
+}
+
+TEST_F(TagIndexTest, CoverSurvivesRemovalConservatively) {
+  // Cover sets only grow while a group lives: after removing the record
+  // that contributed y, a y-write still scans the group (conservative,
+  // never unsound) — and once the group empties and is rebuilt, the
+  // stale cover is gone.
+  StubRecord *XY = addPredicate("x == 2 && y >= 4");
+  StubRecord *XOnly = addPredicate("x == 3");
+  removeRecord(XY);
+
+  TagSearchStats Stats;
+  VarSet DY = dirty({V.Y});
+  EXPECT_EQ(find(state(3), &Stats, &DY), XOnly); // Stale cover: scanned.
+  EXPECT_EQ(Stats.FilteredExprs, 0u);
+
+  removeRecord(XOnly); // Group empties and dies with its cover.
+  StubRecord *Rebuilt = addPredicate("x == 3");
+  TagSearchStats Stats2;
+  EXPECT_EQ(find(state(3), &Stats2, &DY), nullptr);
+  EXPECT_EQ(Stats2.FilteredExprs, 1u); // Fresh cover = {x}: pruned.
+  VarSet DX = dirty({V.X});
+  EXPECT_EQ(find(state(3), nullptr, &DX), Rebuilt);
+}
+
+TEST_F(TagIndexTest, RandomizedDirtyFilterSoundness) {
+  // Property: against a dirty set D, the filtered search never *misses* —
+  // whenever some record whose read set intersects D is true, findTrue(D)
+  // returns a true record. (It may return a true record that does not
+  // itself intersect D: group covers over-approximate, which is the safe
+  // direction. The relay's invariant makes non-intersecting records false
+  // in production, so over-approximation only costs work there.)
+  AUTOSYNCH_SEEDED_RNG(R, 911);
+  const char *Pool[] = {"x == 2",  "x >= 4", "x <= 0",  "x != 7",
+                        "y == 1",  "y >= 2", "y != -3", "x + y >= 4",
+                        "z <= 2",  "flag",   "x == 1 && y >= 1",
+                        "z != 0"};
+
+  for (int Round = 0; Round != 25; ++Round) {
+    TagIndex<StubRecord> LocalIndex;
+    std::vector<std::unique_ptr<StubRecord>> Owned;
+    for (const char *Src : Pool) {
+      if (!R.chance(1, 2))
+        continue;
+      PredicateParseResult PR = parsePredicate(Src, A, V.Syms);
+      ASSERT_TRUE(PR.ok()) << Src;
+      CanonicalPredicate CP = canonicalizePredicate(A, PR.Expr);
+      auto Rec = std::make_unique<StubRecord>();
+      Rec->Pred = CP.Expr;
+      Rec->Tags = deriveTags(A, CP.D, V.Syms);
+      collectVars(CP.Expr, Rec->ReadSet);
+      for (const Tag &T : Rec->Tags)
+        LocalIndex.add(T, Rec.get());
+      Owned.push_back(std::move(Rec));
+    }
+
+    for (int Probe = 0; Probe != 30; ++Probe) {
+      MapEnv State = state(R.range(-8, 8), R.range(-8, 8), R.range(-8, 8),
+                           R.chance(1, 2));
+      VarSet D;
+      for (VarId Id : {V.X, V.Y, V.Z, V.Flag})
+        if (R.chance(1, 3))
+          D.add(Id);
+
+      bool OracleHasTrue = false;
+      for (auto &Rec : Owned)
+        OracleHasTrue |= D.intersects(Rec->ReadSet) &&
+                         evalBool(Rec->Pred, State);
+      StubRecord *Found = LocalIndex.findTrue(
+          [&](ExprRef E) { return eval(E, State).raw(); },
+          [&](StubRecord *Rec) { return evalBool(Rec->Pred, State); },
+          nullptr, &D);
+      if (OracleHasTrue)
+        ASSERT_NE(Found, nullptr) << "round " << Round;
+      if (Found) {
+        ASSERT_TRUE(evalBool(Found->Pred, State));
+      }
+    }
   }
 }
 

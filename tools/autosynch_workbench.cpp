@@ -57,12 +57,28 @@ int usage(const char *Argv0, int Code) {
       "                         (default: the scenario's own setting)\n"
       "  --rate=R               open-loop tokens/sec per source\n"
       "  --seed=S               workload seed (default: 1)\n"
+      "  --relay-filter=F[,F..] always,dirty: relay-filter sweep for the\n"
+      "                         dirty-set ablation (default: dirty)\n"
       "  --json=PATH            output file (default: BENCH_workload.json;\n"
       "                         '-' for pure JSON on stdout, '' to skip)\n"
       "  --assert-plan-cache    fail unless every automatic (relay-policy)\n"
-      "                         run served waits from the plan cache\n",
+      "                         run served waits from the plan cache\n"
+      "  --assert-relay-skips   fail unless every relay-policy dirty-filter\n"
+      "                         run exercised the dirty-set machinery\n"
+      "                         (skipped relays, filtered entries, or\n"
+      "                         stamp short-circuits)\n",
       Argv0);
   return Code;
+}
+
+bool parseRelayFilter(std::string_view S, RelayFilter &Out) {
+  if (S == "always")
+    Out = RelayFilter::Always;
+  else if (S == "dirty" || S == "dirty-set" || S == "dirtyset")
+    Out = RelayFilter::DirtySet;
+  else
+    return false;
+  return true;
 }
 
 bool parseMechanism(std::string_view S, Mechanism &Out) {
@@ -124,9 +140,11 @@ int main(int Argc, char **Argv) {
                                   Mechanism::AutoSynchT,
                                   Mechanism::AutoSynch};
   std::vector<sync::Backend> Backends = {sync::Backend::Std};
+  std::vector<RelayFilter> Filters = {RelayFilter::DirtySet};
   RunConfig Base;
   std::string JsonPath = "BENCH_workload.json";
   bool AssertPlanCache = false;
+  bool AssertRelaySkips = false;
 
   for (int I = 1; I != Argc; ++I) {
     const char *Arg = Argv[I];
@@ -201,6 +219,21 @@ int main(int Argc, char **Argv) {
         std::fprintf(stderr, "%s: empty --backends list\n", Argv[0]);
         return 2;
       }
+    } else if ((V = matchFlag(Arg, "--relay-filter"))) {
+      Filters.clear();
+      for (const std::string &F : splitList(V)) {
+        RelayFilter Filter;
+        if (!parseRelayFilter(F, Filter)) {
+          std::fprintf(stderr, "%s: unknown relay filter '%s'\n", Argv[0],
+                       F.c_str());
+          return 2;
+        }
+        Filters.push_back(Filter);
+      }
+      if (Filters.empty()) {
+        std::fprintf(stderr, "%s: empty --relay-filter list\n", Argv[0]);
+        return 2;
+      }
     } else if ((V = matchFlag(Arg, "--tokens"))) {
       char *End = nullptr;
       Base.TokensPerSource = std::strtoll(V, &End, 10);
@@ -238,6 +271,8 @@ int main(int Argc, char **Argv) {
       JsonPath = V;
     } else if (std::strcmp(Arg, "--assert-plan-cache") == 0) {
       AssertPlanCache = true;
+    } else if (std::strcmp(Arg, "--assert-relay-skips") == 0) {
+      AssertRelaySkips = true;
     } else {
       std::fprintf(stderr, "%s: unknown option '%s'\n", Argv[0], Arg);
       return usage(Argv[0], 2);
@@ -273,30 +308,40 @@ int main(int Argc, char **Argv) {
                 static_cast<unsigned long long>(Base.Seed));
   }
 
-  bench::Table Summary({"threads", "mechanism", "backend", "wall-s",
-                        "tokens/s", "e2e-p50-ms", "e2e-p95-ms",
+  bench::Table Summary({"threads", "mechanism", "backend", "filter",
+                        "wall-s", "tokens/s", "e2e-p50-ms", "e2e-p95-ms",
                         "e2e-p99-ms"});
   std::vector<ScenarioReport> Reports;
   for (int T : Threads) {
     ScenarioSpec Sized = Scenario->withWorkers(T);
     for (Mechanism M : Mechs) {
+      const bool RelayPolicy =
+          M == Mechanism::AutoSynch || M == Mechanism::AutoSynchT;
       for (sync::Backend B : Backends) {
-        RunConfig Cfg = Base;
-        Cfg.Mech = M;
-        Cfg.Backend = B;
-        ScenarioReport R = runScenario(Sized, Cfg);
-        char Buf[32];
-        auto Fmt = [&Buf](double Val) {
-          std::snprintf(Buf, sizeof(Buf), "%.3f", Val);
-          return std::string(Buf);
-        };
-        Summary.addRow({std::to_string(T), mechanismName(M),
-                        sync::backendName(B), Fmt(R.WallSeconds),
-                        Fmt(R.Throughput),
-                        Fmt(fmtMs(R.EndToEnd.quantileNanos(0.50))),
-                        Fmt(fmtMs(R.EndToEnd.quantileNanos(0.95))),
-                        Fmt(fmtMs(R.EndToEnd.quantileNanos(0.99)))});
-        Reports.push_back(std::move(R));
+        for (RelayFilter F : Filters) {
+          // The relay filter only affects the relay policies; running
+          // Explicit/Baseline once per filter would just duplicate cells
+          // under a meaningless label.
+          if (!RelayPolicy && F != Filters.front())
+            continue;
+          RunConfig Cfg = Base;
+          Cfg.Mech = M;
+          Cfg.Backend = B;
+          Cfg.Filter = F;
+          ScenarioReport R = runScenario(Sized, Cfg);
+          char Buf[32];
+          auto Fmt = [&Buf](double Val) {
+            std::snprintf(Buf, sizeof(Buf), "%.3f", Val);
+            return std::string(Buf);
+          };
+          Summary.addRow({std::to_string(T), mechanismName(M),
+                          sync::backendName(B), relayFilterName(F),
+                          Fmt(R.WallSeconds), Fmt(R.Throughput),
+                          Fmt(fmtMs(R.EndToEnd.quantileNanos(0.50))),
+                          Fmt(fmtMs(R.EndToEnd.quantileNanos(0.95))),
+                          Fmt(fmtMs(R.EndToEnd.quantileNanos(0.99)))});
+          Reports.push_back(std::move(R));
+        }
       }
     }
   }
@@ -328,6 +373,34 @@ int main(int Argc, char **Argv) {
       std::printf("# plan-cache assertion: ok\n");
   }
 
+  if (AssertRelaySkips) {
+    // Every relay-policy run under the DirtySet filter must show the
+    // dirty-set machinery doing real work: relays skipped outright,
+    // index entries pruned by read-set intersection, or predicate checks
+    // answered by the version stamp. Broadcast/Explicit runs and Always
+    // runs have no skip path by design and are not checked.
+    for (const ScenarioReport &R : Reports) {
+      if (R.Mech != Mechanism::AutoSynch && R.Mech != Mechanism::AutoSynchT)
+        continue;
+      if (R.Filter != RelayFilter::DirtySet)
+        continue;
+      uint64_t Exercised = R.Relay.DirtySkips + R.Relay.FilteredExprs +
+                           R.Relay.StampShortCircuits;
+      if (Exercised == 0) {
+        std::fprintf(stderr,
+                     "%s: relay-skip assertion failed for %s/%s: "
+                     "calls=%llu dirty_skips=0 filtered_exprs=0 "
+                     "stamp_short_circuits=0\n",
+                     Argv[0], mechanismName(R.Mech),
+                     sync::backendName(R.Backend),
+                     static_cast<unsigned long long>(R.Relay.RelayCalls));
+        return 1;
+      }
+    }
+    if (HumanOutput)
+      std::printf("# relay-skip assertion: ok\n");
+  }
+
   if (JsonPath.empty())
     return 0;
 
@@ -346,7 +419,7 @@ int main(int Argc, char **Argv) {
   JsonWriter J(*OS);
   J.beginObject()
       .member("tool", "autosynch-workbench")
-      .member("version", 2) // 2: added per-run "plan_cache" counters.
+      .member("version", 3) // 3: per-run "relay_filter" + "relay" counters.
       .member("scenario", Scenario->Name)
       .member("description", Scenario->Description)
       .member("tokens_per_source", Base.TokensPerSource)
