@@ -1,0 +1,347 @@
+//===- bench/timedwait_wheel.cpp - Deadline-runtime microbench -------------===//
+//
+// Part of AutoSynch-C++, a reproduction of "AutoSynch: An Automatic-Signal
+// Monitor Based on Predicate Tagging" (Hung & Garg, PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+//
+// The deadline-runtime microbench behind BENCH_timedwait.json:
+//
+//  * wheel-ops — raw TimerWheel insert+cancel cost over a deadline mix
+//    spanning every level (and the beyond-horizon clamp). Asserted to
+//    stay within a generous sanity bound; the headline number is
+//    reported (expected: tens of ns/op).
+//  * fastpath — already-true waitUntilFor vs. waitUntil on a live
+//    monitor: the timed entry points must not put a clock read or wheel
+//    traffic on the no-block fast path.
+//  * cycle — a blocking producer/consumer ping-pong (capacity-1 bounded
+//    buffer) with untimed put/take vs. putFor/takeFor under a generous
+//    deadline, per relay mechanism x backend: the timed hot path's
+//    target is <= 10% overhead (wheel insert+cancel + the bounded block
+//    ride along every park).
+//  * expiry-accuracy — waitUntilFor on never-true predicates: how late
+//    after the requested deadline does the false return arrive
+//    (p50/p95/max lateness; bounded by condvar timed-wait precision
+//    since the waiter's own block is the fallback tick).
+//
+//===----------------------------------------------------------------------===//
+
+#include "FigureBench.h"
+#include "core/Monitor.h"
+#include "problems/BoundedBuffer.h"
+#include "support/Rng.h"
+#include "support/Stats.h"
+#include "time/TimerWheel.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace autosynch;
+using namespace autosynch::bench;
+
+namespace {
+
+double nowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct Cell {
+  std::string Scenario;
+  std::string Mech;    // "-" where not applicable.
+  std::string Backend; // "-" where not applicable.
+  int64_t Ops = 0;
+  double NsPerOp = 0.0;
+  /// cycle/fastpath: untimed ns/op and timed/untimed ratio.
+  double UntimedNsPerOp = 0.0;
+  double Overhead = 0.0;
+  /// expiry-accuracy: lateness beyond the requested deadline.
+  uint64_t LatenessP50 = 0, LatenessP95 = 0, LatenessMax = 0;
+};
+
+/// Raw wheel insert+cancel throughput over a level-spanning deadline mix.
+Cell runWheelOps(int64_t Pairs, int Reps) {
+  Cell C;
+  C.Scenario = "wheel-ops";
+  C.Mech = C.Backend = "-";
+  C.Ops = 2 * Pairs; // One insert + one cancel per pair.
+
+  std::vector<time::TimerNode> Nodes(1024);
+  double Best = -1.0;
+  for (int Rep = 0; Rep != Reps; ++Rep) {
+    time::TimerWheel Wheel;
+    Rng R(0x77AEE1 + static_cast<uint64_t>(Rep));
+    uint64_t Base = time::nowNs();
+    // Pre-compute the deadline mix so the measured loop is wheel-only:
+    // near (level 0), mid, far, and beyond-horizon deadlines.
+    std::vector<uint64_t> Deadlines(Nodes.size());
+    for (size_t I = 0; I != Deadlines.size(); ++I) {
+      switch (R.range(0, 3)) {
+      case 0:
+        Deadlines[I] = Base + R.range(0, 1 << 22);
+        break;
+      case 1:
+        Deadlines[I] = Base + R.range(0, 1 << 28);
+        break;
+      case 2:
+        Deadlines[I] = Base + R.range(0, 1ll << 34);
+        break;
+      default:
+        Deadlines[I] = Base + (1ull << 45); // Beyond the horizon.
+      }
+    }
+
+    double T0 = nowSeconds();
+    for (int64_t P = 0; P != Pairs; ++P) {
+      time::TimerNode &N = Nodes[P % Nodes.size()];
+      N.DeadlineNs = Deadlines[P % Deadlines.size()];
+      Wheel.insert(N);
+      Wheel.cancel(N);
+    }
+    double Seconds = nowSeconds() - T0;
+    if (Best < 0 || Seconds < Best) {
+      Best = Seconds;
+      C.NsPerOp = Seconds * 1e9 / static_cast<double>(C.Ops);
+    }
+  }
+  // Sanity bound, deliberately loose for sanitized/loaded CI machines;
+  // the acceptance target (<= 200 ns/op) is read off the JSON.
+  AUTOSYNCH_CHECK(C.NsPerOp < 5000.0,
+                  "timer wheel insert+cancel is pathologically slow");
+  return C;
+}
+
+/// Already-true timed vs. untimed waits: the no-block fast path.
+class FastpathCell : public Monitor {
+public:
+  FastpathCell() {
+    synchronized([this] { Ready = 1; });
+  }
+
+  void untimed() {
+    Region R(*this);
+    waitUntil(Ready >= lit(1));
+  }
+
+  bool timed() {
+    Region R(*this);
+    return waitUntilFor(Ready >= lit(1), std::chrono::seconds(5));
+  }
+
+private:
+  Shared<int64_t> Ready{*this, "ready", 0};
+};
+
+Cell runFastpath(int64_t Ops, int Reps) {
+  Cell C;
+  C.Scenario = "fastpath";
+  C.Mech = "AutoSynch";
+  C.Backend = "std";
+  C.Ops = Ops;
+
+  double BestTimed = -1.0, BestUntimed = -1.0;
+  for (int Rep = 0; Rep != Reps; ++Rep) {
+    FastpathCell M;
+    double T0 = nowSeconds();
+    for (int64_t I = 0; I != Ops; ++I)
+      M.untimed();
+    double Untimed = nowSeconds() - T0;
+    T0 = nowSeconds();
+    for (int64_t I = 0; I != Ops; ++I)
+      AUTOSYNCH_CHECK(M.timed(), "already-true timed wait failed");
+    double Timed = nowSeconds() - T0;
+    if (BestUntimed < 0 || Untimed < BestUntimed)
+      BestUntimed = Untimed;
+    if (BestTimed < 0 || Timed < BestTimed)
+      BestTimed = Timed;
+  }
+  C.UntimedNsPerOp = BestUntimed * 1e9 / static_cast<double>(Ops);
+  C.NsPerOp = BestTimed * 1e9 / static_cast<double>(Ops);
+  C.Overhead = BestUntimed > 0 ? BestTimed / BestUntimed : 0.0;
+  return C;
+}
+
+/// Blocking ping-pong: producer/consumer over a capacity-1 buffer.
+Cell runCycle(Mechanism Mech, sync::Backend Backend, int64_t Ops,
+              int Reps) {
+  Cell C;
+  C.Scenario = "cycle";
+  C.Mech = mechanismName(Mech);
+  C.Backend = sync::backendName(Backend);
+  C.Ops = Ops;
+
+  constexpr uint64_t Generous = 10ull * 1000 * 1000 * 1000; // 10 s.
+  {
+    // Warm-up: the first far-deadline wait in the process spawns the
+    // fallback-ticker thread; keep that one-time cost out of the
+    // measured loop.
+    auto B = makeBoundedBuffer(Mech, 1, Backend);
+    int64_t Out;
+    AUTOSYNCH_CHECK(B->putFor(0, Generous) && B->takeFor(Out, Generous),
+                    "warm-up op expired");
+  }
+  auto RunOnce = [&](bool Timed) {
+    auto B = makeBoundedBuffer(Mech, 1, Backend);
+    double T0 = nowSeconds();
+    std::thread Producer([&] {
+      for (int64_t I = 0; I != Ops; ++I) {
+        if (Timed)
+          AUTOSYNCH_CHECK(B->putFor(I, Generous), "cycle put expired");
+        else
+          B->put(I);
+      }
+    });
+    int64_t Out;
+    for (int64_t I = 0; I != Ops; ++I) {
+      if (Timed)
+        AUTOSYNCH_CHECK(B->takeFor(Out, Generous), "cycle take expired");
+      else
+        Out = B->take();
+    }
+    Producer.join();
+    return nowSeconds() - T0;
+  };
+
+  double BestTimed = -1.0, BestUntimed = -1.0;
+  for (int Rep = 0; Rep != Reps; ++Rep) {
+    double Untimed = RunOnce(false);
+    double Timed = RunOnce(true);
+    if (BestUntimed < 0 || Untimed < BestUntimed)
+      BestUntimed = Untimed;
+    if (BestTimed < 0 || Timed < BestTimed)
+      BestTimed = Timed;
+  }
+  C.UntimedNsPerOp = BestUntimed * 1e9 / static_cast<double>(Ops);
+  C.NsPerOp = BestTimed * 1e9 / static_cast<double>(Ops);
+  C.Overhead = BestUntimed > 0 ? BestTimed / BestUntimed : 0.0;
+  // Sanity bound (generous: loaded CI machines bounce several percent
+  // per run; sub-5k-op smoke runs are pure noise and skip it). The
+  // acceptance target — <= 10% for the automatic mechanisms, courtesy
+  // of the far-deadline fallback tick replacing per-block kernel
+  // timers — is read off the JSON.
+  if (isAutomatic(Mech) && Ops >= 5000)
+    AUTOSYNCH_CHECK(C.Overhead < 1.5,
+                    "timed wait cycle overhead regressed pathologically");
+  return C;
+}
+
+/// Never-true timed waits: lateness of the false return past the bound.
+Cell runExpiryAccuracy(int Waits, int Reps) {
+  Cell C;
+  C.Scenario = "expiry-accuracy";
+  C.Mech = "AutoSynch";
+  C.Backend = "std";
+  C.Ops = Waits;
+
+  class Never : public Monitor {
+  public:
+    uint64_t waitLateness(uint64_t TimeoutNs) {
+      Region R(*this);
+      uint64_t T0 = time::nowNs();
+      bool Ok = waitUntilFor(Flag >= lit(1),
+                             std::chrono::nanoseconds(TimeoutNs));
+      AUTOSYNCH_CHECK(!Ok, "never-true predicate came true");
+      uint64_t Elapsed = time::nowNs() - T0;
+      return Elapsed > TimeoutNs ? Elapsed - TimeoutNs : 0;
+    }
+
+  private:
+    Shared<int64_t> Flag{*this, "flag", 0};
+  };
+
+  LatencyHistogram Lateness;
+  for (int Rep = 0; Rep != Reps; ++Rep) {
+    Never M;
+    Rng R(0xACC + static_cast<uint64_t>(Rep));
+    for (int I = 0; I != Waits; ++I)
+      Lateness.record(
+          M.waitLateness(static_cast<uint64_t>(R.range(1, 10)) * 1000000));
+  }
+  C.LatenessP50 = Lateness.quantileNanos(0.50);
+  C.LatenessP95 = Lateness.quantileNanos(0.95);
+  C.LatenessMax = Lateness.maxNanos();
+  return C;
+}
+
+void writeJson(const std::vector<Cell> &Cells, const std::string &Path) {
+  std::ofstream OS(Path);
+  if (!OS) {
+    std::fprintf(stderr, "timedwait_wheel: cannot open %s\n", Path.c_str());
+    std::exit(1);
+  }
+  OS << "{\n  \"bench\": \"timedwait_wheel\",\n  \"schema\": 1,\n"
+     << "  \"runs\": [\n";
+  for (size_t I = 0; I != Cells.size(); ++I) {
+    const Cell &C = Cells[I];
+    OS << "    {\"scenario\": \"" << C.Scenario << "\", \"mechanism\": \""
+       << C.Mech << "\", \"backend\": \"" << C.Backend
+       << "\", \"ops\": " << C.Ops << ", \"ns_per_op\": " << C.NsPerOp;
+    if (C.Scenario == "cycle" || C.Scenario == "fastpath")
+      OS << ", \"untimed_ns_per_op\": " << C.UntimedNsPerOp
+         << ", \"timed_over_untimed\": " << C.Overhead;
+    if (C.Scenario == "expiry-accuracy")
+      OS << ", \"lateness_p50_ns\": " << C.LatenessP50
+         << ", \"lateness_p95_ns\": " << C.LatenessP95
+         << ", \"lateness_max_ns\": " << C.LatenessMax;
+    OS << "}" << (I + 1 == Cells.size() ? "\n" : ",\n");
+  }
+  OS << "  ]\n}\n";
+  std::printf("# wrote %s (%zu cells)\n", Path.c_str(), Cells.size());
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  BenchOptions Opts = BenchOptions::fromEnv();
+  std::string JsonPath = "BENCH_timedwait.json";
+  for (int I = 1; I != Argc; ++I) {
+    if (std::strncmp(Argv[I], "--json=", 7) == 0) {
+      JsonPath = Argv[I] + 7;
+    } else {
+      std::fprintf(stderr, "usage: %s [--json=PATH]\n", Argv[0]);
+      return 2;
+    }
+  }
+
+  banner("timedwait_wheel",
+         "deadline runtime: wheel ops, timed-vs-untimed waituntil, expiry "
+         "accuracy",
+         Opts);
+
+  std::vector<Cell> Cells;
+  Cells.push_back(runWheelOps(Opts.scaled(200000), Opts.Reps));
+  Cells.push_back(runFastpath(Opts.scaled(200000), Opts.Reps));
+  for (Mechanism M : {Mechanism::Explicit, Mechanism::AutoSynchT,
+                      Mechanism::AutoSynch})
+    for (sync::Backend B : {sync::Backend::Std, sync::Backend::Futex})
+      Cells.push_back(runCycle(M, B, Opts.scaled(20000), Opts.Reps));
+  Cells.push_back(
+      runExpiryAccuracy(static_cast<int>(Opts.scaled(100)), Opts.Reps));
+
+  bench::Table T({"scenario", "mech", "backend", "ops", "ns/op",
+                  "untimed-ns/op", "timed/untimed", "late-p95-us"});
+  char Buf[32];
+  auto F = [&Buf](double V) {
+    std::snprintf(Buf, sizeof(Buf), "%.2f", V);
+    return std::string(Buf);
+  };
+  for (const Cell &C : Cells)
+    T.addRow({C.Scenario, C.Mech, C.Backend, std::to_string(C.Ops),
+              F(C.NsPerOp),
+              C.UntimedNsPerOp > 0 ? F(C.UntimedNsPerOp) : "-",
+              C.Overhead > 0 ? F(C.Overhead) : "-",
+              C.LatenessP95 > 0
+                  ? F(static_cast<double>(C.LatenessP95) / 1000.0)
+                  : "-"});
+  T.print();
+
+  if (!JsonPath.empty())
+    writeJson(Cells, JsonPath);
+  return 0;
+}

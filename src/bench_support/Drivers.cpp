@@ -280,3 +280,67 @@ RunMetrics bench::runDiningPhilosophers(DiningPhilosophersIface &D,
   }
   return measure(std::move(Work));
 }
+
+RunMetrics bench::runLeaseManager(LeaseManagerIface &L, int Threads,
+                                  int64_t TotalOps, int TimedEvery,
+                                  uint64_t TimeoutNs) {
+  std::vector<int64_t> Shares = split(TotalOps, Threads);
+  std::vector<std::function<void()>> Work;
+  for (int T = 0; T != Threads; ++T) {
+    int64_t Ops = Shares[T];
+    Work.push_back([&L, Ops, TimedEvery, TimeoutNs] {
+      for (int64_t I = 0; I != Ops; ++I) {
+        if (TimedEvery > 0 && I % TimedEvery == 0) {
+          while (!L.acquire(TimeoutNs)) {
+            // Expiry counted by the lease manager; retry keeps the
+            // per-thread op quota exact.
+          }
+        } else {
+          L.acquire(~uint64_t{0});
+        }
+        L.release();
+      }
+    });
+  }
+  return measure(std::move(Work));
+}
+
+RunMetrics bench::runTokenBucket(TokenBucketIface &B, int Consumers,
+                                 int64_t Capacity, int64_t TotalItems,
+                                 uint64_t Seed) {
+  // Precompute seeded demand scripts whose sum is exactly TotalItems.
+  std::vector<std::vector<int64_t>> Demands(Consumers);
+  Rng R(Seed);
+  int64_t Left = TotalItems;
+  for (int C = 0; Left > 0; C = (C + 1) % Consumers) {
+    int64_t N = std::min<int64_t>(Left, R.range(1, Capacity));
+    Demands[C].push_back(N);
+    Left -= N;
+  }
+
+  std::vector<std::function<void()>> Work;
+  for (int C = 0; C != Consumers; ++C) {
+    const std::vector<int64_t> &Script = Demands[C];
+    Work.push_back([&B, &Script] {
+      for (int64_t N : Script)
+        B.acquire(N, ~uint64_t{0});
+    });
+  }
+  // The refiller supplies exactly the excess over the initial (full)
+  // bucket, checking headroom first: it is the only token source, so an
+  // observed fit cannot be invalidated by the time the refill lands.
+  Work.push_back([&B, Capacity, TotalItems, Seed] {
+    Rng RR(Seed ^ 0x9e3779b97f4a7c15ULL);
+    int64_t Budget = TotalItems - Capacity;
+    while (Budget > 0) {
+      int64_t N = std::min<int64_t>(Budget, RR.range(1, 6));
+      if (B.tokens() > Capacity - N) {
+        std::this_thread::yield();
+        continue;
+      }
+      B.refill(N);
+      Budget -= N;
+    }
+  });
+  return measure(std::move(Work));
+}

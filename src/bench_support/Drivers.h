@@ -27,11 +27,13 @@
 #include "problems/CyclicBarrier.h"
 #include "problems/DiningPhilosophers.h"
 #include "problems/H2O.h"
+#include "problems/LeaseManager.h"
 #include "problems/ParamBoundedBuffer.h"
 #include "problems/ReadersWriters.h"
 #include "problems/RoundRobin.h"
 #include "problems/SantaClaus.h"
 #include "problems/SleepingBarber.h"
+#include "problems/TokenBucket.h"
 #include "support/ProcStats.h"
 #include "sync/Counters.h"
 
@@ -93,6 +95,22 @@ RunMetrics runCyclicBarrier(CyclicBarrierIface &B, int64_t Generations);
 RunMetrics runSantaClaus(SantaClausIface &S, int ReindeerThreads,
                          int ElfThreads, int64_t Deliveries,
                          int64_t Consultations);
+
+/// Extension (deadline runtime): \p Threads workers performing
+/// \p TotalOps acquire/release cycles against \p L; every \p TimedEvery
+/// -th acquire uses \p TimeoutNs and retries on expiry (expiries counted
+/// in the lease manager's own stats), the rest are unbounded.
+RunMetrics runLeaseManager(LeaseManagerIface &L, int Threads,
+                           int64_t TotalOps, int TimedEvery,
+                           uint64_t TimeoutNs);
+
+/// Extension (deadline runtime): \p Consumers demand seeded batches from
+/// \p B (unbounded acquires, \p TotalItems items in total) against one
+/// refiller supplying exactly the excess over the initial fill without
+/// ever overflowing the bucket.
+RunMetrics runTokenBucket(TokenBucketIface &B, int Consumers,
+                          int64_t Capacity, int64_t TotalItems,
+                          uint64_t Seed);
 
 } // namespace autosynch::bench
 

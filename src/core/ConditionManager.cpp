@@ -11,6 +11,7 @@
 #include "expr/Subst.h"
 #include "plan/PlanCache.h"
 #include "sync/Counters.h"
+#include "time/FallbackTicker.h"
 
 #include <bit>
 
@@ -77,6 +78,11 @@ void ConditionManager::flushRelayCounters() {
                                   Stats.StampShortCircuits};
   sync::RelayCounters::global().add(Cur - FlushedRelay);
   FlushedRelay = Cur;
+  // The deadline-runtime totals ride the same batching cadence.
+  sync::TimedCountersSnapshot Timed{Stats.TimedWaits, Stats.Timeouts,
+                                    Stats.Cancels, Stats.WheelWakeups};
+  sync::TimedCounters::global().add(Timed - FlushedTimed);
+  FlushedTimed = Timed;
 }
 
 //===----------------------------------------------------------------------===//
@@ -199,6 +205,8 @@ void ConditionManager::activate(Record *R) {
 void ConditionManager::deactivate(Record *R) {
   AUTOSYNCH_CHECK(R->Active, "deactivating an inactive record");
   AUTOSYNCH_CHECK(R->Waiters == 0, "deactivating a record with waiters");
+  AUTOSYNCH_CHECK(R->ExpiredWaiters == 0,
+                  "deactivating a record with unretired expired waiters");
   AUTOSYNCH_CHECK(R->PendingSignals == 0,
                   "deactivating a record with an in-flight signal");
   uint64_t T0 = Timers.start();
@@ -267,6 +275,13 @@ ConditionManager::linearScanFindTrue(const VarSet *Dirty) {
       ++Stats.Search.FilteredExprs;
       continue;
     }
+    if (R->ExpiredWaiters >= R->Waiters) {
+      // Every waiter's deadline has passed; each wakes on its own bounded
+      // block, so a directed signal here would be wasted (see the file
+      // comment for why skipping without evaluating stays sound).
+      ++Stats.Search.ExpiredSkips;
+      continue;
+    }
     ++Stats.Search.PredicateChecks;
     if (recordTrue(R))
       return R;
@@ -278,13 +293,52 @@ ConditionManager::Record *ConditionManager::taggedFindTrue(const VarSet *Dirty) 
   return Index.findTrue(
       [&](ExprRef SharedExpr) { return eval(SharedExpr, SharedEnv).raw(); },
       [&](Record *R) {
+        if (R->ExpiredWaiters >= R->Waiters) {
+          // Mid-scan retirement of expired records: answer "not a
+          // winner" without touching the record's predicate or stamp.
+          ++Stats.Search.ExpiredSkips;
+          return false;
+        }
         ++Stats.Search.PredicateChecks;
         return recordTrue(R);
       },
       &Stats.Search, Dirty);
 }
 
+void ConditionManager::processExpiry() {
+  // Gate with two relaxed loads before paying for a clock read (and only
+  // then the wheel lock): monitors without timed waiters must not feel
+  // the deadline runtime on their exit paths.
+  if (Wheel.size() == 0)
+    return;
+  uint64_t Now = time::nowNs();
+  if (Now < Wheel.nextDueBoundNs())
+    return;
+
+  ExpiredScratch.clear();
+  if (Wheel.advance(Now, ExpiredScratch) == 0)
+    return;
+  for (time::TimerNode *N : ExpiredScratch) {
+    auto *TW = static_cast<TimedWait *>(N->Owner);
+    AUTOSYNCH_CHECK(TW && !TW->Expired, "timer fired twice for one wait");
+    AUTOSYNCH_CHECK(TW->Rec, "fired timer without a record");
+    TW->Expired = true;
+    ++TW->Rec->ExpiredWaiters;
+    ++Stats.WheelWakeups;
+    // Wake the expired thread promptly (it would otherwise return at its
+    // own bounded block's deadline — this only accelerates). The signal
+    // may land on a sibling waiter of the same record; that thread treats
+    // it as a legal spurious wakeup.
+    TW->Rec->Cond->signal();
+  }
+}
+
 void ConditionManager::relaySignal(DeferredWake *Defer) {
+  // Exit/wait paths drive the timer wheel's lazy cascade: expired timed
+  // waiters are retired from relay consideration before the search picks
+  // a winner (near-free when no timer is due; see processExpiry).
+  processExpiry();
+
   uint64_t T0 = Timers.start();
   // The process-wide counters are fed in batches, not per exit: a shared
   // fetch_add here would put cross-monitor cache-line contention on the
@@ -358,37 +412,131 @@ void ConditionManager::relaySignal(DeferredWake *Defer) {
 // Waiting (paper Fig. 6)
 //===----------------------------------------------------------------------===//
 
-void ConditionManager::awaitBroadcast(ExprRef Pred, const Env &Locals) {
+bool ConditionManager::awaitBroadcast(ExprRef Pred, const Env &Locals,
+                                      TimedWait *TW) {
   OverlayEnv Combined(Locals, SharedEnv);
+  // Broadcast timed waits never register in the wheel: signalAll on every
+  // exit already wakes them, and their bounded block is its own fallback
+  // tick. The token still needs the registration handshake for a wake
+  // that races the final flag check (see time/CancelToken.h).
+  time::CancelScope Scope(TW ? TW->Token : nullptr, BroadcastCond.get());
+  if (TW)
+    ++Stats.TimedWaits; // On entry, like waitOnRecord: a wait that dies
+                        // at its first deadline check still counts, so
+                        // Timeouts <= TimedWaits holds for every policy.
   bool Waited = false;
-  while (!evalBool(Pred, Combined)) {
+  while (true) {
+    if (evalBool(Pred, Combined))
+      return true; // Predicate-first, even past the deadline.
+    if (TW) {
+      if (Scope.cancelled()) {
+        ++Stats.Cancels;
+        return false;
+      }
+      if (time::isBounded(TW->deadlineNs()) &&
+          time::nowNs() >= TW->deadlineNs()) {
+        ++Stats.Timeouts;
+        return false;
+      }
+    }
     if (!Waited) {
       Waited = true;
       ++Stats.Waits;
+      // The classic pre-block relay: the region may have changed state
+      // before this wait, and the broadcast policy's only bookkeeping is
+      // "wake everyone". First iteration only — a woken waiter that
+      // re-evaluates false has nothing new to announce, and under
+      // epoch-counted (loss-free) timed waits a per-iteration signalAll
+      // would ping-pong blocked waiters forever.
+      relaySignal();
     }
-    relaySignal(); // State may have changed since others last looked.
     ++BroadcastWaiters;
     ++TotalWaiters;
     uint64_t T0 = Timers.start();
-    BroadcastCond->await();
+    if (TW) {
+      // Epoch after every gen-bumping step above and cancel re-checked
+      // after the capture: a flag set later necessarily bumps the epoch
+      // later, so the bounded wait returns immediately (see
+      // sync/Mutex.h on the closed lost-notify window).
+      uint64_t Epoch = BroadcastCond->epoch();
+      if (!Scope.cancelled())
+        BroadcastCond->awaitUntil(TW->deadlineNs(), Epoch);
+    } else {
+      BroadcastCond->await();
+    }
     Timers.stop(PhaseTimers::Await, T0);
     --BroadcastWaiters;
     --TotalWaiters;
   }
 }
 
-void ConditionManager::waitOnRecord(Record *R) {
+bool ConditionManager::waitOnRecord(Record *R, TimedWait *TW) {
   activate(R);
   ++R->Waiters;
   ++TotalWaiters;
   ++Stats.Waits;
+  time::CancelScope Scope(TW ? TW->Token : nullptr, R->Cond.get());
+  bool InWheel = false;
+  bool Far = false;
+  // Near deadlines are detected by the bounded block itself (awaitUntil's
+  // verdict is authoritative: the kernel compared against the same
+  // monotonic clock), so the near loop needs no per-wakeup clock read —
+  // only this entry check, for waits whose deadline already passed before
+  // ever blocking. Far deadlines (beyond the wheel's near horizon) block
+  // *unbounded* under the epoch handshake and lean on the process-wide
+  // fallback tick for their expiry wake: one armed kernel timer for every
+  // far wait in the process, instead of one per block.
+  bool DeadlinePassed = false;
+  if (TW) {
+    ++Stats.TimedWaits;
+    TW->Rec = R;
+    if (time::isBounded(TW->deadlineNs())) {
+      uint64_t Now = time::nowNs();
+      DeadlinePassed = Now >= TW->deadlineNs();
+      if (!DeadlinePassed) {
+        if (TW->deadlineNs() - Now <= time::TimerWheel::NearHorizonNs) {
+          Wheel.insert(TW->Node); // O(1); cancelled symmetrically below.
+          InWheel = true;
+        } else {
+          TW->FarN.Cond = R->Cond.get();
+          TW->FarN.DeadlineNs = TW->deadlineNs();
+          time::FallbackTicker::global().add(TW->FarN);
+          Far = true;
+        }
+      }
+    }
+  }
 
+  bool Satisfied;
   while (true) {
-    if (recordTrue(R))
+    if (recordTrue(R)) {
+      Satisfied = true;
       break;
+    }
+    uint64_t Epoch = 0;
+    if (TW) {
+      // Epoch before the flag checks: a cancel or expiry wake that lands
+      // after this line bumps it, and awaitUntil then returns
+      // immediately — the lost-notify window is closed (sync/Mutex.h).
+      Epoch = R->Cond->epoch();
+      if (Far)
+        DeadlinePassed = time::nowNs() >= TW->deadlineNs();
+      if (DeadlinePassed || TW->Expired || Scope.cancelled()) {
+        Satisfied = false;
+        break;
+      }
+    }
     relaySignal(); // Maintain the invariance before blocking.
     uint64_t T0 = Timers.start();
-    R->Cond->await();
+    if (TW) {
+      // Far waits pass the unbounded sentinel: no kernel timer; the
+      // fallback tick (or any relay/cancel wake) ends the block.
+      bool V = R->Cond->awaitUntil(
+          Far ? time::NeverNs : TW->deadlineNs(), Epoch);
+      DeadlinePassed = DeadlinePassed || V;
+    } else {
+      R->Cond->await();
+    }
     Timers.stop(PhaseTimers::Await, T0);
     if (R->PendingSignals > 0) {
       --R->PendingSignals;
@@ -396,22 +544,47 @@ void ConditionManager::waitOnRecord(Record *R) {
     }
   }
 
+  if (TW) {
+    if (InWheel)
+      Wheel.cancel(TW->Node); // No-op if an exit-path advance fired it.
+    if (Far)
+      time::FallbackTicker::global().remove(TW->FarN);
+    if (TW->Expired) {
+      AUTOSYNCH_CHECK(R->ExpiredWaiters > 0,
+                      "expired-waiter count out of balance");
+      --R->ExpiredWaiters;
+      TW->Expired = false;
+    }
+    if (!Satisfied) {
+      if (Scope.cancelled())
+        ++Stats.Cancels;
+      else
+        ++Stats.Timeouts;
+      // Baton passing: our wakeup may have consumed a directed signal
+      // whose chain obligation we are abandoning; re-run the relay so a
+      // thread whose predicate became true is still signaled.
+      relaySignal();
+    }
+  }
+
   --R->Waiters;
   --TotalWaiters;
   if (R->Waiters == 0)
     deactivate(R);
+  return Satisfied;
 }
 
-void ConditionManager::await(ExprRef Pred, const Env &Locals) {
+bool ConditionManager::await(ExprRef Pred, const Env &Locals,
+                             TimedWait *TW) {
   // Fast path: the condition already holds (Fig. 6 checks P first).
   {
     OverlayEnv Combined(Locals, SharedEnv);
     if (evalBool(Pred, Combined))
-      return;
+      return true;
   }
 
   if (Cfg.Policy == SignalPolicy::Broadcast)
-    return awaitBroadcast(Pred, Locals);
+    return awaitBroadcast(Pred, Locals, TW);
 
   // Globalization (§4.1): substitute the thread's locals so every other
   // thread can evaluate the predicate on our behalf.
@@ -419,15 +592,15 @@ void ConditionManager::await(ExprRef Pred, const Env &Locals) {
                                     : Pred;
   CanonicalPredicate CP = canonicalizePredicate(Arena, G, Cfg.Limits);
   if (CP.D.isTrue()) // Canonicalization may prove it (x >= x).
-    return;
+    return true;
   AUTOSYNCH_CHECK(!CP.D.isFalse(),
                   "waituntil on an unsatisfiable predicate would never "
                   "return");
 
-  waitOnRecord(lookupOrRegister(CP.Expr, std::move(CP.D)));
+  return waitOnRecord(lookupOrRegister(CP.Expr, std::move(CP.D)), TW);
 }
 
-void ConditionManager::awaitGround(const WaitPlan &Plan) {
+bool ConditionManager::awaitGround(const WaitPlan &Plan, TimedWait *TW) {
   AUTOSYNCH_CHECK(Plan.kind() == WaitPlan::Kind::Ground,
                   "awaitGround requires a Ground plan");
   // Steady state is a plain table hit; the plan's Dnf is copied only when
@@ -435,10 +608,11 @@ void ConditionManager::awaitGround(const WaitPlan &Plan) {
   Record *R = lookupExisting(Plan.canonical().Expr);
   if (!R)
     R = lookupOrRegister(Plan.canonical().Expr, Plan.canonical().D);
-  waitOnRecord(R);
+  return waitOnRecord(R, TW);
 }
 
-void ConditionManager::awaitBound(const SigEntry *Sig, size_t N) {
+bool ConditionManager::awaitBound(const SigEntry *Sig, size_t N,
+                                  TimedWait *TW) {
   Record *R;
   auto It = BindTable.find(SigView{Sig, N});
   if (It != BindTable.end()) {
@@ -460,7 +634,7 @@ void ConditionManager::awaitBound(const SigEntry *Sig, size_t N) {
     CanonicalPredicate CP =
         canonicalizePredicate(Arena, dnfToExpr(Arena, D0), Cfg.Limits);
     if (CP.D.isTrue())
-      return; // Subsumption may prove the binding trivially true.
+      return true; // Subsumption may prove the binding trivially true.
     AUTOSYNCH_CHECK(!CP.D.isFalse(),
                     "waituntil on an unsatisfiable predicate would never "
                     "return");
@@ -472,5 +646,5 @@ void ConditionManager::awaitBound(const SigEntry *Sig, size_t N) {
     R->SigAliases.push_back(&Slot->first.E);
   }
 
-  waitOnRecord(R);
+  return waitOnRecord(R, TW);
 }

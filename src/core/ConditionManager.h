@@ -57,6 +57,32 @@
 /// (the Monitor wrapper enforces this); the dirty set, version counters,
 /// and stamps are all guarded by that lock.
 ///
+/// Timed waits (the src/time/ deadline runtime): every await entry point
+/// takes an optional TimedWait carrying a monotonic deadline and an
+/// optional CancelToken. A blocked timed waiter registers in the
+/// per-manager timer wheel (its own lock shard; see time/TimerWheel.h) and
+/// blocks with a *bounded* condvar wait — the wait's own deadline is the
+/// guaranteed fallback tick, so expiry never depends on monitor traffic.
+/// Exit paths additionally drive the wheel's lazy cascade (processExpiry,
+/// polled at the top of every relaySignal through two relaxed loads):
+/// expired waiters are marked, woken, and — via the ExpiredWaiters count —
+/// retired from relay consideration, so a record whose every waiter has
+/// expired is skipped by the search without being evaluated. Three
+/// invariants keep this sound against the dirty-set machinery:
+///
+///  * Predicate-first: a waiter that observes its predicate true returns
+///    true even if its deadline passed or its token fired concurrently —
+///    a consumed directed signal is thereby *accepted*, never stolen.
+///  * Baton passing: a timed waiter that leaves unsatisfied re-runs the
+///    relay before returning, because its wakeup may have consumed (or
+///    pre-empted) a directed signal another thread now deserves.
+///  * Expired-skip soundness: the relay scan may skip a fully-expired
+///    record without evaluating it, and an empty-handed scan still clears
+///    the dirty set. Safe because nothing ever *waits* on that proof: the
+///    expired waiters wake on their own bounded blocks and self-check, and
+///    any future waiter of the record evaluates the predicate itself
+///    before blocking (and from then on the record is no longer skipped).
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef AUTOSYNCH_CORE_CONDITIONMANAGER_H
@@ -71,6 +97,9 @@
 #include "plan/WaitPlan.h"
 #include "sync/Counters.h"
 #include "tag/TagIndex.h"
+#include "time/CancelToken.h"
+#include "time/FallbackTicker.h"
+#include "time/TimerWheel.h"
 
 #include <cstdint>
 #include <deque>
@@ -92,6 +121,13 @@ struct ManagerStats {
                                    ///< version stamp without evaluating.
   uint64_t SignalsSent = 0;   ///< Directed signals issued.
   uint64_t BroadcastSignals = 0; ///< signalAll calls (Broadcast policy).
+  uint64_t TimedWaits = 0;    ///< Timed waits that reached the blocking
+                              ///< path (already-true fast paths excluded).
+  uint64_t Timeouts = 0;      ///< Timed waits that returned false because
+                              ///< their deadline passed.
+  uint64_t Cancels = 0;       ///< Waits aborted through a CancelToken.
+  uint64_t WheelWakeups = 0;  ///< Expired waiters noticed (and woken) by
+                              ///< an exit-path wheel advance.
   uint64_t Registrations = 0; ///< Predicates added to the table.
   uint64_t CacheReuses = 0;   ///< Predicates revived from the inactive cache.
   uint64_t Evictions = 0;     ///< Predicates evicted from the cache.
@@ -122,7 +158,39 @@ struct DeferredWake {
 
 /// The per-monitor condition manager.
 class ConditionManager {
+  struct Record; // Defined below; TimedWait carries a back-pointer.
+
 public:
+  /// One in-flight timed (or cancellable) wait: a stack-allocated record
+  /// the blocking thread threads through the await entry points. Carries
+  /// the wheel node (intrusive; zero allocation) and the optional token.
+  /// Deadline semantics: Node.DeadlineNs is absolute monotonic
+  /// (time::nowNs domain); time::NeverNs plus a token expresses a
+  /// cancellation-only wait.
+  struct TimedWait {
+    TimedWait(uint64_t DeadlineNs, time::CancelToken *Token)
+        : Token(Token) {
+      Node.DeadlineNs = DeadlineNs;
+      Node.Owner = this;
+    }
+
+    time::TimerNode Node;
+    /// Far-deadline parking slot (time/FallbackTicker.h); used instead
+    /// of the wheel node when the deadline is beyond the near horizon.
+    time::FarNode FarN;
+    time::CancelToken *Token = nullptr;
+    /// The record this wait blocks on; set by waitOnRecord so exit-path
+    /// expiry processing can retire the waiter from the record.
+    Record *Rec = nullptr;
+    /// Marked (under the monitor lock) by an exit-path wheel advance that
+    /// noticed the deadline passed before the waiter's own bounded block
+    /// returned; balanced against Record::ExpiredWaiters on the way out.
+    bool Expired = false;
+
+    uint64_t deadlineNs() const { return Node.DeadlineNs; }
+    bool cancelled() const { return Token && Token->cancelled(); }
+  };
+
   /// \p SharedEnv must resolve every Shared-scoped variable of \p Syms and
   /// reflect the monitor's current state on each call (the Monitor's slot
   /// environment does); \p Slots is the raw backing array of the same
@@ -144,20 +212,28 @@ public:
   ///
   /// Monitor lock must be held; it is released while blocked and re-held on
   /// return. Fatal error if the predicate is canonically unsatisfiable
-  /// (the wait could never finish).
-  void await(ExprRef Pred, const Env &Locals);
+  /// (the wait could never finish — timed waits included: a deadline bounds
+  /// waiting for a *possible* condition, it does not legalize an impossible
+  /// one).
+  ///
+  /// With \p TW null this is the classic unbounded wait and always returns
+  /// true. With \p TW set, returns true iff the predicate was observed
+  /// true, false on deadline expiry or cancellation (predicate-first: see
+  /// the file comment).
+  bool await(ExprRef Pred, const Env &Locals, TimedWait *TW = nullptr);
 
   /// Blocks on a Ground wait plan (shared-only shape, canonicalized at
   /// plan-build time). The caller has already checked the fast path (the
-  /// predicate is false right now). Lock requirements as await().
-  void awaitGround(const WaitPlan &Plan);
+  /// predicate is false right now). Lock and TimedWait semantics as
+  /// await().
+  bool awaitGround(const WaitPlan &Plan, TimedWait *TW = nullptr);
 
   /// Blocks on a resolved plan signature (\p Sig / \p N from
   /// WaitPlan::resolve, status Resolved). Known signatures map straight to
   /// their predicate record — zero interning, zero allocation; unknown
   /// ones are reconstructed and unified through the canonical predicate
-  /// table. Lock requirements as await().
-  void awaitBound(const SigEntry *Sig, size_t N);
+  /// table. Lock and TimedWait semantics as await().
+  bool awaitBound(const SigEntry *Sig, size_t N, TimedWait *TW = nullptr);
 
   /// The relay signaling rule; called on monitor exit and before blocking.
   /// With \p Defer null the winning record is signaled immediately (the
@@ -196,6 +272,7 @@ public:
     flushRelayCounters(); // Keep the process-wide totals exact.
     Stats = ManagerStats();
     FlushedRelay = sync::RelayCountersSnapshot();
+    FlushedTimed = sync::TimedCountersSnapshot();
   }
 
   PhaseTimers &timers() { return Timers; }
@@ -214,7 +291,8 @@ public:
 private:
   static constexpr size_t InvalidPos = static_cast<size_t>(-1);
 
-  /// One registered (globalized, canonicalized) predicate.
+  /// One registered (globalized, canonicalized) predicate (declared at
+  /// the top of the class so TimedWait can point at it).
   struct Record {
     ExprRef Canonical = nullptr;
     Dnf D;
@@ -230,6 +308,11 @@ private:
     uint64_t FalseVersion = 0;
     bool StampValid = false;
     int Waiters = 0;
+    /// Waiters whose deadline an exit-path wheel advance has seen expire
+    /// but whose threads have not finished unwinding yet. When every
+    /// waiter is expired the record is dead weight for the relay: the
+    /// search skips it without evaluating (Search.ExpiredSkips).
+    int ExpiredWaiters = 0;
     int PendingSignals = 0;
     bool Active = false;
     /// Whether the record has an entry in InactiveQueue (at most one).
@@ -296,8 +379,16 @@ private:
   void evictIfNeeded();
 
   /// The shared blocking loop: activate, relay-and-wait until the record's
-  /// predicate holds, deactivate when the last waiter leaves.
-  void waitOnRecord(Record *R);
+  /// predicate holds (or, with \p TW, the deadline/token fires),
+  /// deactivate when the last waiter leaves. Returns false only for a
+  /// timed wait that left unsatisfied.
+  bool waitOnRecord(Record *R, TimedWait *TW);
+
+  /// Drives the timer wheel's lazy cascade from the monitor's wait/exit
+  /// paths: fires due timers, marks their waits expired, retires them
+  /// from relay consideration, and wakes their threads. Two relaxed loads
+  /// and no clock read when no timer could be due.
+  void processExpiry();
 
   /// Full predicate check under the current shared state, answered by the
   /// false-stamp when it is still current (DirtySet filter only).
@@ -322,7 +413,7 @@ private:
   /// hot path touches no shared atomics.
   void flushRelayCounters();
 
-  void awaitBroadcast(ExprRef Pred, const Env &Locals);
+  bool awaitBroadcast(ExprRef Pred, const Env &Locals, TimedWait *TW);
 
   sync::Mutex &MonitorLock;
   ExprArena &Arena;
@@ -368,6 +459,12 @@ private:
   int PendingTotal = 0;
   uint64_t UseTick = 0;
 
+  /// The deadline runtime's per-manager timer wheel (its own internal
+  /// lock, sharded off the monitor mutex) and the reusable scratch buffer
+  /// advance() fires into (allocation-free steady state).
+  time::TimerWheel Wheel;
+  std::vector<time::TimerNode *> ExpiredScratch;
+
   /// Dirty-set relay state (all guarded by the monitor lock): variables
   /// written since the last empty-handed relay scan, the global write
   /// tick, and per-variable last-write versions (indexed by VarId, grown
@@ -379,6 +476,8 @@ private:
   ManagerStats Stats;
   /// Portion of Stats already folded into sync::RelayCounters::global().
   sync::RelayCountersSnapshot FlushedRelay;
+  /// Portion of Stats already folded into sync::TimedCounters::global().
+  sync::TimedCountersSnapshot FlushedTimed;
 };
 
 } // namespace autosynch

@@ -84,8 +84,8 @@ void Monitor::exit() {
 // waituntil
 //===----------------------------------------------------------------------===//
 
-void Monitor::waitUntilImpl(ExprRef Pred, const Env &Locals, bool Edsl,
-                            ParseEntry *Entry) {
+bool Monitor::waitUntilImpl(ExprRef Pred, const Env &Locals, bool Edsl,
+                            ParseEntry *Entry, const TimedSpec &TS) {
   AUTOSYNCH_CHECK(ownedByCaller(), "waitUntil outside the monitor");
   AUTOSYNCH_CHECK(Depth == 1,
                   "waitUntil from a nested monitor region would deadlock");
@@ -98,18 +98,25 @@ void Monitor::waitUntilImpl(ExprRef Pred, const Env &Locals, bool Edsl,
   // (and unbalance exit()). We checked Depth == 1 above, so restoring to
   // 1 is exact.
   Owner.store(std::thread::id(), std::memory_order_relaxed);
-  dispatchWait(Pred, Locals, Edsl, Entry);
+  bool Satisfied = dispatchWait(Pred, Locals, Edsl, Entry, TS);
   Owner.store(Me, std::memory_order_relaxed);
   Depth = 1;
+  return Satisfied;
 }
 
-void Monitor::dispatchWait(ExprRef Pred, const Env &Locals, bool Edsl,
-                           ParseEntry *Entry) {
-  if (!Cfg.UsePlanCache) {
-    PlanCounters::global().onLegacyWait();
-    Mgr.await(Pred, Locals);
-    return;
-  }
+bool Monitor::awaitLegacy(ExprRef Pred, const Env &Locals,
+                          const TimedSpec &TS) {
+  PlanCounters::global().onLegacyWait();
+  if (!TS.timed())
+    return Mgr.await(Pred, Locals);
+  ConditionManager::TimedWait TW(TS.deadlineNs(), TS.Token);
+  return Mgr.await(Pred, Locals, &TW);
+}
+
+bool Monitor::dispatchWait(ExprRef Pred, const Env &Locals, bool Edsl,
+                           ParseEntry *Entry, const TimedSpec &TS) {
+  if (!Cfg.UsePlanCache)
+    return awaitLegacy(Pred, Locals, TS);
 
   // Broadcast has no registered predicates, so plans cannot resolve waits
   // for it — but the allocation-free already-true precheck applies to any
@@ -136,22 +143,20 @@ void Monitor::dispatchWait(ExprRef Pred, const Env &Locals, bool Edsl,
   // it is the reference semantics for everything else.
   if (!Plan || Plan->kind() == WaitPlan::Kind::Legacy ||
       Plan->kind() == WaitPlan::Kind::AlwaysTrue ||
-      Plan->kind() == WaitPlan::Kind::Unsatisfiable) {
-    PlanCounters::global().onLegacyWait();
-    Mgr.await(Pred, Locals);
-    return;
-  }
+      Plan->kind() == WaitPlan::Kind::Unsatisfiable)
+    return awaitLegacy(Pred, Locals, TS);
 
   if (Plan->kind() == WaitPlan::Kind::Ground) {
     if (Plan->code().runRawBool(Slots.data(), nullptr))
-      return; // Fast path: already true (Fig. 6 checks P first).
-    if (Broadcast) {
-      PlanCounters::global().onLegacyWait();
-      Mgr.await(Pred, Locals);
-      return;
-    }
-    Mgr.awaitGround(*Plan);
-    return;
+      return true; // Fast path: already true (Fig. 6 checks P first).
+    if (Broadcast)
+      return awaitLegacy(Pred, Locals, TS);
+    if (!TS.timed())
+      return Mgr.awaitGround(*Plan);
+    // Timed waits bind their deadline into the same stack frame the plan
+    // hit uses — a TimerNode slot, no allocation, no extra lookups.
+    ConditionManager::TimedWait TW(TS.deadlineNs(), TS.Token);
+    return Mgr.awaitGround(*Plan, &TW);
   }
 
   // Slotted plan: bind this thread's locals, then check-then-wait.
@@ -161,36 +166,34 @@ void Monitor::dispatchWait(ExprRef Pred, const Env &Locals, bool Edsl,
     AUTOSYNCH_CHECK(NumBound == Plan->slots().size(),
                     "EDSL binding count diverged from the plan");
   if (Plan->code().runRawBool(Slots.data(), Bound))
-    return; // Fast path: already true.
-  if (Broadcast) {
-    PlanCounters::global().onLegacyWait();
-    Mgr.await(Pred, Locals);
-    return;
-  }
+    return true; // Fast path: already true.
+  if (Broadcast)
+    return awaitLegacy(Pred, Locals, TS);
 
   SigEntry Sig[WaitPlan::MaxSigEntries];
   size_t N = 0;
   switch (Plan->resolve(Bound, Sig, N)) {
-  case WaitPlan::ResolveStatus::Resolved:
-    Mgr.awaitBound(Sig, N);
-    return;
+  case WaitPlan::ResolveStatus::Resolved: {
+    if (!TS.timed())
+      return Mgr.awaitBound(Sig, N);
+    ConditionManager::TimedWait TW(TS.deadlineNs(), TS.Token);
+    return Mgr.awaitBound(Sig, N, &TW);
+  }
   case WaitPlan::ResolveStatus::True:
     // "True under any shared state" contradicts the fast check above;
     // resolution and the compiled check derive from the same canonical
     // form, so this is unreachable.
     AUTOSYNCH_CHECK(false, "plan resolution diverged from evaluation");
-    return;
+    return true;
   case WaitPlan::ResolveStatus::False:
     AUTOSYNCH_CHECK(false,
                     "waituntil on an unsatisfiable predicate would never "
                     "return");
-    return;
+    return false;
   case WaitPlan::ResolveStatus::Overflow:
     // Key arithmetic left int64; the uncached pipeline (whose own
     // overflow handling degrades to an untagged opaque atom) is exact.
-    PlanCounters::global().onLegacyWait();
-    Mgr.await(Pred, Locals);
-    return;
+    return awaitLegacy(Pred, Locals, TS);
   }
   AUTOSYNCH_UNREACHABLE("invalid ResolveStatus");
 }
@@ -200,17 +203,96 @@ void Monitor::waitUntil(const ExprHandle &P) {
                   "predicate built against a different monitor");
   AUTOSYNCH_CHECK(P.type() == TypeKind::Bool,
                   "waitUntil requires a bool predicate");
-  waitUntilImpl(P.ref(), EmptyEnv::instance(), /*Edsl=*/true, nullptr);
+  waitUntilImpl(P.ref(), EmptyEnv::instance(), /*Edsl=*/true, nullptr,
+                TimedSpec());
 }
 
 void Monitor::waitUntil(std::string_view Pred) {
   ParseEntry &E = parseCached(Pred);
-  waitUntilImpl(E.Expr, EmptyEnv::instance(), /*Edsl=*/false, &E);
+  waitUntilImpl(E.Expr, EmptyEnv::instance(), /*Edsl=*/false, &E,
+                TimedSpec());
 }
 
 void Monitor::waitUntil(std::string_view Pred, const MapEnv &Locals) {
   ParseEntry &E = parseCached(Pred);
-  waitUntilImpl(E.Expr, Locals, /*Edsl=*/false, &E);
+  waitUntilImpl(E.Expr, Locals, /*Edsl=*/false, &E, TimedSpec());
+}
+
+//===----------------------------------------------------------------------===//
+// Timed and cancellable waits
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+Monitor::TimedSpec specFor(std::chrono::nanoseconds Timeout,
+                           time::CancelToken *Token) {
+  Monitor::TimedSpec TS;
+  TS.K = Monitor::TimedSpec::Kind::For;
+  TS.Ns = Timeout.count() <= 0 ? 0
+                               : static_cast<uint64_t>(Timeout.count());
+  TS.Token = Token;
+  return TS;
+}
+
+Monitor::TimedSpec specBy(time::Deadline D, time::CancelToken *Token) {
+  Monitor::TimedSpec TS;
+  TS.K = Monitor::TimedSpec::Kind::By;
+  TS.Ns = D.Ns;
+  TS.Token = Token;
+  return TS;
+}
+
+} // namespace
+
+bool Monitor::waitUntilFor(const ExprHandle &P,
+                           std::chrono::nanoseconds Timeout,
+                           time::CancelToken *Token) {
+  AUTOSYNCH_CHECK(&P.arena() == &Arena,
+                  "predicate built against a different monitor");
+  AUTOSYNCH_CHECK(P.type() == TypeKind::Bool,
+                  "waitUntilFor requires a bool predicate");
+  return waitUntilImpl(P.ref(), EmptyEnv::instance(), /*Edsl=*/true,
+                       nullptr, specFor(Timeout, Token));
+}
+
+bool Monitor::waitUntilFor(std::string_view Pred,
+                           std::chrono::nanoseconds Timeout,
+                           time::CancelToken *Token) {
+  ParseEntry &E = parseCached(Pred);
+  return waitUntilImpl(E.Expr, EmptyEnv::instance(), /*Edsl=*/false, &E,
+                       specFor(Timeout, Token));
+}
+
+bool Monitor::waitUntilFor(std::string_view Pred, const MapEnv &Locals,
+                           std::chrono::nanoseconds Timeout,
+                           time::CancelToken *Token) {
+  ParseEntry &E = parseCached(Pred);
+  return waitUntilImpl(E.Expr, Locals, /*Edsl=*/false, &E,
+                       specFor(Timeout, Token));
+}
+
+bool Monitor::waitUntilBy(const ExprHandle &P, time::Deadline D,
+                          time::CancelToken *Token) {
+  AUTOSYNCH_CHECK(&P.arena() == &Arena,
+                  "predicate built against a different monitor");
+  AUTOSYNCH_CHECK(P.type() == TypeKind::Bool,
+                  "waitUntilBy requires a bool predicate");
+  return waitUntilImpl(P.ref(), EmptyEnv::instance(), /*Edsl=*/true,
+                       nullptr, specBy(D, Token));
+}
+
+bool Monitor::waitUntilBy(std::string_view Pred, time::Deadline D,
+                          time::CancelToken *Token) {
+  ParseEntry &E = parseCached(Pred);
+  return waitUntilImpl(E.Expr, EmptyEnv::instance(), /*Edsl=*/false, &E,
+                       specBy(D, Token));
+}
+
+bool Monitor::waitUntilBy(std::string_view Pred, const MapEnv &Locals,
+                          time::Deadline D, time::CancelToken *Token) {
+  ParseEntry &E = parseCached(Pred);
+  return waitUntilImpl(E.Expr, Locals, /*Edsl=*/false, &E,
+                       specBy(D, Token));
 }
 
 Monitor::ParseEntry &Monitor::parseCached(std::string_view Pred) {

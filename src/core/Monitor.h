@@ -50,8 +50,11 @@
 #include "core/ConditionManager.h"
 #include "expr/Builder.h"
 #include "plan/PlanCache.h"
+#include "time/CancelToken.h"
+#include "time/Deadline.h"
 
 #include <atomic>
+#include <chrono>
 #include <functional>
 #include <string>
 #include <string_view>
@@ -178,6 +181,24 @@ public:
   /// The monitor's wait-plan cache (predicate-shape -> WaitPlan).
   PlanCache &planCache() { return Plans; }
 
+  /// How a wait is bounded (implementation descriptor, public so the
+  /// out-of-line helpers can build one). For-timeouts stay relative until
+  /// the wait actually blocks (no clock read on the already-true fast
+  /// path); the deadline is materialized once, so every retry of the
+  /// block loop sees the same instant.
+  struct TimedSpec {
+    enum class Kind : uint8_t { None, For, By };
+    Kind K = Kind::None;
+    uint64_t Ns = 0; ///< For: relative timeout; By: absolute deadline.
+    time::CancelToken *Token = nullptr;
+
+    bool timed() const { return K != Kind::None; }
+    /// The absolute monotonic deadline (clock read only for For).
+    uint64_t deadlineNs() const {
+      return K == Kind::For ? time::deadlineAfter(time::nowNs(), Ns) : Ns;
+    }
+  };
+
 protected:
   explicit Monitor(MonitorConfig Config = {});
   ~Monitor();
@@ -194,6 +215,49 @@ protected:
   /// Blocks until parsed predicate \p Pred holds, with local variables
   /// bound in \p Locals (globalized per call, paper §4.1).
   void waitUntil(std::string_view Pred, const MapEnv &Locals);
+
+  //===--------------------------------------------------------------------===//
+  // Timed and cancellable waits (the src/time/ deadline runtime)
+  //===--------------------------------------------------------------------===//
+  //
+  // waitUntilFor bounds the wait by a relative timeout, waitUntilBy by an
+  // absolute monotonic deadline (time::Deadline; Deadline::never() plus a
+  // CancelToken expresses a cancellation-only wait). All variants return
+  // true iff the predicate was observed true — predicate-first: a wait
+  // whose predicate holds returns true even if the deadline passed or the
+  // token fired concurrently, so a relayed signal is accepted, never
+  // stolen — and false on expiry or cancellation, with the monitor
+  // re-entered and the region still intact either way. The fast path
+  // (predicate already true) reads no clock; timeouts convert to
+  // deadlines only when the wait actually blocks. Same restrictions as
+  // waitUntil (region depth 1; canonically unsatisfiable predicates are
+  // fatal — a deadline bounds a possible wait, it does not legalize an
+  // impossible one).
+
+  /// Bounded wait on an EDSL predicate.
+  bool waitUntilFor(const ExprHandle &P, std::chrono::nanoseconds Timeout,
+                    time::CancelToken *Token = nullptr);
+
+  /// Bounded wait on a parsed shared-only predicate.
+  bool waitUntilFor(std::string_view Pred, std::chrono::nanoseconds Timeout,
+                    time::CancelToken *Token = nullptr);
+
+  /// Bounded wait on a parsed predicate with local bindings.
+  bool waitUntilFor(std::string_view Pred, const MapEnv &Locals,
+                    std::chrono::nanoseconds Timeout,
+                    time::CancelToken *Token = nullptr);
+
+  /// Deadline wait on an EDSL predicate.
+  bool waitUntilBy(const ExprHandle &P, time::Deadline D,
+                   time::CancelToken *Token = nullptr);
+
+  /// Deadline wait on a parsed shared-only predicate.
+  bool waitUntilBy(std::string_view Pred, time::Deadline D,
+                   time::CancelToken *Token = nullptr);
+
+  /// Deadline wait on a parsed predicate with local bindings.
+  bool waitUntilBy(std::string_view Pred, const MapEnv &Locals,
+                   time::Deadline D, time::CancelToken *Token = nullptr);
 
   /// Declares (or retrieves) a Local-scoped variable for use in parsed
   /// predicates. Call during construction or while inside the monitor.
@@ -241,10 +305,14 @@ private:
   };
 
   ParseEntry &parseCached(std::string_view Pred);
-  void waitUntilImpl(ExprRef Pred, const Env &Locals, bool Edsl,
-                     ParseEntry *Entry);
-  void dispatchWait(ExprRef Pred, const Env &Locals, bool Edsl,
-                    ParseEntry *Entry);
+
+  bool waitUntilImpl(ExprRef Pred, const Env &Locals, bool Edsl,
+                     ParseEntry *Entry, const TimedSpec &TS);
+  bool dispatchWait(ExprRef Pred, const Env &Locals, bool Edsl,
+                    ParseEntry *Entry, const TimedSpec &TS);
+  /// Tail of dispatchWait: runs the uncached pipeline with the spec's
+  /// bound materialized.
+  bool awaitLegacy(ExprRef Pred, const Env &Locals, const TimedSpec &TS);
 
   /// Heterogeneous string hashing so the parse-cache hit path looks up by
   /// string_view without materializing a std::string key.

@@ -76,7 +76,12 @@ public:
   uint64_t mask() const { return Mask; }
 
   bool operator==(const VarSet &O) const {
-    return Mask == O.Mask && All == O.All;
+    // A saturated set is semantically universal regardless of which
+    // direct bits happened to be set before (or after) saturation, so
+    // the mask must not participate once either side is universal.
+    if (All || O.All)
+      return All == O.All;
+    return Mask == O.Mask;
   }
 
 private:

@@ -10,7 +10,9 @@
 #include "core/Monitor.h"
 #include "support/Check.h"
 #include "sync/Mutex.h"
+#include "time/Deadline.h"
 
+#include <chrono>
 #include <vector>
 
 using namespace autosynch;
@@ -48,6 +50,44 @@ public:
     NotFull->signal();
     Mutex.unlock();
     return Item;
+  }
+
+  bool putFor(int64_t Item, uint64_t TimeoutNs) override {
+    uint64_t Deadline = time::deadlineAfter(time::nowNs(), TimeoutNs);
+    Mutex.lock();
+    while (Count == static_cast<int64_t>(Buffer.size())) {
+      uint64_t Epoch = NotFull->epoch();
+      if (time::nowNs() >= Deadline) {
+        Mutex.unlock();
+        return false;
+      }
+      NotFull->awaitUntil(Deadline, Epoch);
+    }
+    Buffer[PutPtr] = Item;
+    PutPtr = (PutPtr + 1) % static_cast<int64_t>(Buffer.size());
+    ++Count;
+    NotEmpty->signal();
+    Mutex.unlock();
+    return true;
+  }
+
+  bool takeFor(int64_t &Out, uint64_t TimeoutNs) override {
+    uint64_t Deadline = time::deadlineAfter(time::nowNs(), TimeoutNs);
+    Mutex.lock();
+    while (Count == 0) {
+      uint64_t Epoch = NotEmpty->epoch();
+      if (time::nowNs() >= Deadline) {
+        Mutex.unlock();
+        return false;
+      }
+      NotEmpty->awaitUntil(Deadline, Epoch);
+    }
+    Out = Buffer[TakePtr];
+    TakePtr = (TakePtr + 1) % static_cast<int64_t>(Buffer.size());
+    --Count;
+    NotFull->signal();
+    Mutex.unlock();
+    return true;
   }
 
   int64_t size() const override {
@@ -95,6 +135,27 @@ public:
     TakePtr = (TakePtr + 1) % static_cast<int64_t>(Buffer.size());
     Count -= 1;
     return Item;
+  }
+
+  bool putFor(int64_t Item, uint64_t TimeoutNs) override {
+    Region R(*this);
+    if (!waitUntilFor(Count < static_cast<int64_t>(Buffer.size()),
+                      time::toTimeout(TimeoutNs)))
+      return false;
+    Buffer[PutPtr] = Item;
+    PutPtr = (PutPtr + 1) % static_cast<int64_t>(Buffer.size());
+    Count += 1;
+    return true;
+  }
+
+  bool takeFor(int64_t &Out, uint64_t TimeoutNs) override {
+    Region R(*this);
+    if (!waitUntilFor(Count > 0, time::toTimeout(TimeoutNs)))
+      return false;
+    Out = Buffer[TakePtr];
+    TakePtr = (TakePtr + 1) % static_cast<int64_t>(Buffer.size());
+    Count -= 1;
+    return true;
   }
 
   int64_t size() const override { return CountPeek(); }

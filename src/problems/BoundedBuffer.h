@@ -35,6 +35,15 @@ public:
   /// Blocks until there is an item, then removes and returns it.
   virtual int64_t take() = 0;
 
+  /// Bounded put: deposits \p Item and returns true, or returns false
+  /// once \p TimeoutNs (monotonic, relative) elapses with the buffer
+  /// still full. The buffer is unchanged on false.
+  virtual bool putFor(int64_t Item, uint64_t TimeoutNs) = 0;
+
+  /// Bounded take: stores the removed item in \p Out and returns true, or
+  /// returns false once \p TimeoutNs elapses with the buffer still empty.
+  virtual bool takeFor(int64_t &Out, uint64_t TimeoutNs) = 0;
+
   /// Current number of buffered items (synchronized snapshot).
   virtual int64_t size() const = 0;
 };

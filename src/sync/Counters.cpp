@@ -18,3 +18,8 @@ RelayCounters &RelayCounters::global() {
   static RelayCounters Instance;
   return Instance;
 }
+
+TimedCounters &TimedCounters::global() {
+  static TimedCounters Instance;
+  return Instance;
+}

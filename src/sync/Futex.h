@@ -15,7 +15,9 @@
 #define AUTOSYNCH_SYNC_FUTEX_H
 
 #include <atomic>
+#include <cerrno>
 #include <cstdint>
+#include <ctime>
 
 #include <linux/futex.h>
 #include <sys/syscall.h>
@@ -28,6 +30,28 @@ namespace autosynch::sync {
 inline void futexWait(std::atomic<uint32_t> &Word, uint32_t Expected) {
   syscall(SYS_futex, reinterpret_cast<uint32_t *>(&Word), FUTEX_WAIT_PRIVATE,
           Expected, nullptr, nullptr, 0);
+}
+
+/// Timed futexWait: blocks until \p Word no longer holds \p Expected, the
+/// thread is woken, or the absolute CLOCK_MONOTONIC deadline \p DeadlineNs
+/// passes (FUTEX_WAIT_BITSET takes an absolute monotonic timespec — the
+/// same clock time::nowNs reads, so no relative-timeout re-arithmetic on
+/// spurious wakeups). DeadlineNs == UINT64_MAX waits unboundedly. Returns
+/// true iff the wait ended because the deadline passed; may also return
+/// spuriously (callers re-check their condition either way).
+inline bool futexWaitUntil(std::atomic<uint32_t> &Word, uint32_t Expected,
+                           uint64_t DeadlineNs) {
+  if (DeadlineNs == ~uint64_t{0}) {
+    futexWait(Word, Expected);
+    return false;
+  }
+  timespec TS;
+  TS.tv_sec = static_cast<time_t>(DeadlineNs / 1000000000u);
+  TS.tv_nsec = static_cast<long>(DeadlineNs % 1000000000u);
+  long Rc = syscall(SYS_futex, reinterpret_cast<uint32_t *>(&Word),
+                    FUTEX_WAIT_BITSET_PRIVATE, Expected, &TS, nullptr,
+                    FUTEX_BITSET_MATCH_ANY);
+  return Rc == -1 && errno == ETIMEDOUT;
 }
 
 /// Wakes up to \p Count threads blocked in futexWait on \p Word.

@@ -14,7 +14,9 @@
 #include <chrono>
 #include <climits>
 #include <condition_variable>
+#include <limits>
 #include <mutex>
+#include <thread>
 
 using namespace autosynch;
 using namespace autosynch::sync;
@@ -27,6 +29,31 @@ const char *sync::backendName(Backend B) {
     return "futex";
   }
   AUTOSYNCH_UNREACHABLE("invalid sync backend");
+}
+
+//===----------------------------------------------------------------------===//
+// Spurious-wakeup fault injection (tests only)
+//===----------------------------------------------------------------------===//
+
+namespace {
+std::atomic<uint32_t> SpuriousPeriod{0};
+std::atomic<uint32_t> SpuriousTick{0};
+
+/// True when this wait should return spuriously instead of blocking.
+bool injectSpurious() {
+  uint32_t P = SpuriousPeriod.load(std::memory_order_relaxed);
+  if (AUTOSYNCH_LIKELY(P == 0))
+    return false;
+  return SpuriousTick.fetch_add(1, std::memory_order_relaxed) % P == P - 1;
+}
+} // namespace
+
+void sync::setSpuriousWakeupPeriod(uint32_t N) {
+  SpuriousPeriod.store(N, std::memory_order_relaxed);
+}
+
+uint32_t sync::spuriousWakeupPeriod() {
+  return SpuriousPeriod.load(std::memory_order_relaxed);
 }
 
 //===----------------------------------------------------------------------===//
@@ -60,12 +87,70 @@ public:
     Guard.release();
   }
 
-  void signal() override { CV.notify_one(); }
-  void signalAll() override { CV.notify_all(); }
+  bool awaitUntil(uint64_t DeadlineNs, uint64_t Epoch) override {
+    // std::condition_variable cannot close the lost-notify window
+    // against notifiers that do not hold the mutex (CancelToken::cancel,
+    // the fallback ticker): a notify landing between the epoch check and
+    // the condvar's internal waiter registration wakes nobody, and on an
+    // unbounded epoch wait that is a hang. The epoch-protected path
+    // therefore waits on the epoch word itself with a futex — the
+    // value-vs-epoch compare is atomic in the kernel, exactly like the
+    // futex backend — while plain await() stays pure condvar.
+    EpochWaiters.fetch_add(1, std::memory_order_seq_cst);
+    M.unlock();
+    bool TimedOut =
+        futexWaitUntil(Gen, static_cast<uint32_t>(Epoch), DeadlineNs);
+    M.lock();
+    EpochWaiters.fetch_sub(1, std::memory_order_relaxed);
+    return TimedOut;
+  }
+
+  uint64_t epoch() const override {
+    return Gen.load(std::memory_order_relaxed);
+  }
+
+  void signal() override {
+    Gen.fetch_add(1, std::memory_order_release);
+    CV.notify_one();
+    if (epochWaiterMayBeParked())
+      futexWake(Gen, 1);
+  }
+  void signalAll() override {
+    Gen.fetch_add(1, std::memory_order_release);
+    CV.notify_all();
+    if (epochWaiterMayBeParked())
+      futexWake(Gen, INT_MAX);
+  }
+
+  void spuriousWake() override {
+    M.unlock();
+    std::this_thread::yield();
+    M.lock();
+  }
 
 private:
+  /// Whether the futex wake is needed. The wake is skippable when no
+  /// epoch waiter exists — a waiter that captured its epoch before the
+  /// bump self-detects the change in futexWaitUntil's kernel compare —
+  /// but the waker-side check is the classic futex waiter-count pattern
+  /// and needs a full StoreLoad barrier between the Gen bump and the
+  /// count read (paired with the waiter's seq_cst increment before its
+  /// kernel compare): with plain release/relaxed ordering the count
+  /// read could be satisfied before the bump commits, read zero, and
+  /// drop the only wake for a concurrently parking waiter. x86's RMW
+  /// masks this; weaker architectures do not.
+  bool epochWaiterMayBeParked() {
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    return EpochWaiters.load(std::memory_order_relaxed) != 0;
+  }
+
   std::mutex &M;
   std::condition_variable CV;
+  /// Wake epoch; see Condition::epoch(). 32-bit: it doubles as the
+  /// futex word for the epoch-protected timed wait.
+  std::atomic<uint32_t> Gen{0};
+  /// Threads currently blocked in the futex epoch wait.
+  std::atomic<uint32_t> EpochWaiters{0};
 };
 
 //===----------------------------------------------------------------------===//
@@ -124,6 +209,23 @@ public:
     M.lock();
   }
 
+  bool awaitUntil(uint64_t DeadlineNs, uint64_t Epoch) override {
+    // The sequence counter is the epoch: a wake issued after the caller's
+    // capture bumps it, and futexWaitUntil returns immediately on the
+    // value mismatch — nothing to lose. The timeout is an absolute
+    // CLOCK_MONOTONIC timespec, so spurious returns need no re-arming
+    // arithmetic.
+    M.unlock();
+    bool TimedOut =
+        futexWaitUntil(Seq, static_cast<uint32_t>(Epoch), DeadlineNs);
+    M.lock();
+    return TimedOut;
+  }
+
+  uint64_t epoch() const override {
+    return Seq.load(std::memory_order_relaxed);
+  }
+
   void signal() override {
     Seq.fetch_add(1, std::memory_order_release);
     futexWake(Seq, 1);
@@ -132,6 +234,12 @@ public:
   void signalAll() override {
     Seq.fetch_add(1, std::memory_order_release);
     futexWake(Seq, INT_MAX);
+  }
+
+  void spuriousWake() override {
+    M.unlock();
+    std::this_thread::yield();
+    M.lock();
   }
 
 private:
@@ -201,6 +309,11 @@ void Condition::await() {
   Awaits.fetch_add(1, std::memory_order_relaxed);
   Counters &G = Counters::global();
   G.onAwait();
+  if (AUTOSYNCH_UNLIKELY(injectSpurious())) {
+    Impl->spuriousWake();
+    G.onWakeup();
+    return;
+  }
   if (AUTOSYNCH_UNLIKELY(G.timingEnabled())) {
     uint64_t T0 = nowNs();
     Impl->await();
@@ -209,6 +322,31 @@ void Condition::await() {
     Impl->await();
   }
   G.onWakeup();
+}
+
+uint64_t Condition::epoch() const { return Impl->epoch(); }
+
+bool Condition::awaitUntil(uint64_t DeadlineNs, uint64_t Epoch) {
+  Awaits.fetch_add(1, std::memory_order_relaxed);
+  Counters &G = Counters::global();
+  G.onAwait();
+  if (AUTOSYNCH_UNLIKELY(injectSpurious())) {
+    Impl->spuriousWake();
+    G.onWakeup();
+    // The verdict must stay truthful even when the kernel never ran:
+    // callers lean on it as their only deadline observation.
+    return DeadlineNs != ~uint64_t{0} && nowNs() >= DeadlineNs;
+  }
+  bool TimedOut;
+  if (AUTOSYNCH_UNLIKELY(G.timingEnabled())) {
+    uint64_t T0 = nowNs();
+    TimedOut = Impl->awaitUntil(DeadlineNs, Epoch);
+    G.addAwaitNs(nowNs() - T0);
+  } else {
+    TimedOut = Impl->awaitUntil(DeadlineNs, Epoch);
+  }
+  G.onWakeup();
+  return TimedOut;
 }
 
 void Condition::signal() {

@@ -39,6 +39,28 @@ enum class Backend : uint8_t {
 /// Returns a human-readable backend name ("std" or "futex").
 const char *backendName(Backend B);
 
+/// Fault-injection hook for robustness tests: when \p N > 0, every Nth
+/// Condition::await / awaitUntil across the process returns spuriously
+/// (the mutex is genuinely released and re-acquired, no signal consumed)
+/// instead of blocking. 0 — the default — disables injection; the hot
+/// path then pays one relaxed load. Not for production use.
+void setSpuriousWakeupPeriod(uint32_t N);
+uint32_t spuriousWakeupPeriod();
+
+/// RAII enable/restore for the spurious-wakeup hook (test scaffolding).
+class SpuriousWakeupGuard {
+public:
+  explicit SpuriousWakeupGuard(uint32_t N) : Prev(spuriousWakeupPeriod()) {
+    setSpuriousWakeupPeriod(N);
+  }
+  ~SpuriousWakeupGuard() { setSpuriousWakeupPeriod(Prev); }
+  SpuriousWakeupGuard(const SpuriousWakeupGuard &) = delete;
+  SpuriousWakeupGuard &operator=(const SpuriousWakeupGuard &) = delete;
+
+private:
+  uint32_t Prev;
+};
+
 namespace detail {
 
 class MutexImpl {
@@ -53,8 +75,16 @@ class ConditionImpl {
 public:
   virtual ~ConditionImpl() = default;
   virtual void await() = 0;
+  /// Timed wait against the wake epoch captured by the caller; see
+  /// Condition::awaitUntil. Returns true iff the deadline passed.
+  virtual bool awaitUntil(uint64_t DeadlineNs, uint64_t Epoch) = 0;
+  /// Current wake epoch (bumped by every signal/signalAll).
+  virtual uint64_t epoch() const = 0;
   virtual void signal() = 0;
   virtual void signalAll() = 0;
+  /// Releases the mutex, yields, and re-acquires — a manufactured
+  /// spurious wakeup for the fault-injection hook.
+  virtual void spuriousWake() = 0;
 };
 
 } // namespace detail
@@ -99,6 +129,25 @@ public:
   /// Atomically releases the mutex and blocks until signaled (or a spurious
   /// wakeup); re-acquires the mutex before returning.
   void await();
+
+  /// The condition's wake epoch: a counter both backends bump on every
+  /// signal/signalAll. Timed waits capture it (under the mutex) *before*
+  /// their final state checks; awaitUntil then returns immediately if the
+  /// epoch has moved, so a wake issued between the capture and the block
+  /// — the classic lost-notify window, which CancelToken::cancel and the
+  /// timer wheel's lock-free expiry wakes would otherwise fall into — is
+  /// never lost. Relaxed read; requires the mutex for the ordering
+  /// guarantee above.
+  uint64_t epoch() const;
+
+  /// Atomically releases the mutex and blocks until the epoch advances
+  /// past \p Epoch, the thread is woken (possibly spuriously), or the
+  /// absolute monotonic deadline \p DeadlineNs (time::nowNs domain;
+  /// UINT64_MAX = unbounded) passes; re-acquires the mutex before
+  /// returning. Returns true iff the wait ended because the deadline
+  /// passed — best effort: callers must re-check their predicate and
+  /// clock either way.
+  bool awaitUntil(uint64_t DeadlineNs, uint64_t Epoch);
 
   /// Wakes at least one waiting thread, if any are waiting.
   void signal();

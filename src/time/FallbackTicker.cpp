@@ -1,0 +1,160 @@
+//===- time/FallbackTicker.cpp - Far-deadline fallback tick ----------------===//
+//
+// Part of AutoSynch-C++, a reproduction of "AutoSynch: An Automatic-Signal
+// Monitor Based on Predicate Tagging" (Hung & Garg, PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "time/FallbackTicker.h"
+
+#include "support/Check.h"
+#include "sync/Mutex.h"
+#include "time/Deadline.h"
+
+#include <chrono>
+#include <functional>
+
+using namespace autosynch;
+using namespace autosynch::time;
+
+FallbackTicker &FallbackTicker::global() {
+  static FallbackTicker Instance;
+  return Instance;
+}
+
+FallbackTicker::~FallbackTicker() {
+  {
+    std::lock_guard<std::mutex> G(TickM);
+    Stop = true;
+  }
+  CV.notify_one();
+  if (Thread.joinable())
+    Thread.join();
+}
+
+void FallbackTicker::publishDeadline(uint64_t DeadlineNs) {
+  // Monotonic atomic min: the bound is visible before any sleep decision
+  // that could miss it (see below).
+  uint64_t Cur = MinDeadline.load(std::memory_order_relaxed);
+  bool Lowered = false;
+  while (DeadlineNs < Cur) {
+    if (MinDeadline.compare_exchange_weak(Cur, DeadlineNs,
+                                          std::memory_order_relaxed)) {
+      Lowered = true;
+      break;
+    }
+  }
+  if (!Lowered)
+    return; // The sweeper already wakes early enough.
+  // The sweeper holds TickM from reading MinDeadline until it enters the
+  // wait; taking it here means either it has not read yet (and will see
+  // the lowered bound) or it is already waiting (and gets the notify).
+  std::lock_guard<std::mutex> G(TickM);
+  CV.notify_one();
+}
+
+void FallbackTicker::add(FarNode &N) {
+  AUTOSYNCH_CHECK(N.Cond && isBounded(N.DeadlineNs),
+                  "far park needs a condition and a bounded deadline");
+  AUTOSYNCH_CHECK(N.S != FarNode::State::Queued, "far node parked twice");
+  std::call_once(StartOnce, [this] {
+    Thread = std::thread([this] { run(); });
+  });
+
+  size_t Idx = std::hash<std::thread::id>{}(std::this_thread::get_id()) %
+               NumShards;
+  N.Shard = static_cast<uint8_t>(Idx);
+  Shard &S = Shards[Idx];
+  {
+    std::lock_guard<std::mutex> G(S.M);
+    N.Prev = nullptr;
+    N.Next = S.Head;
+    if (S.Head)
+      S.Head->Prev = &N;
+    S.Head = &N;
+    N.S = FarNode::State::Queued;
+  }
+  publishDeadline(N.DeadlineNs);
+}
+
+void FallbackTicker::remove(FarNode &N) {
+  Shard &S = Shards[N.Shard];
+  std::lock_guard<std::mutex> G(S.M);
+  if (N.S != FarNode::State::Queued) {
+    N.S = FarNode::State::Idle; // Fired while we were waking up.
+    return;
+  }
+  if (N.Prev)
+    N.Prev->Next = N.Next;
+  else
+    S.Head = N.Next;
+  if (N.Next)
+    N.Next->Prev = N.Prev;
+  N.Prev = N.Next = nullptr;
+  N.S = FarNode::State::Idle;
+  // MinDeadline may now be stale low; the sweeper absorbs that with one
+  // empty sweep and recomputes the exact bound.
+}
+
+size_t FallbackTicker::pending() const {
+  size_t Count = 0;
+  for (const Shard &S : Shards) {
+    std::lock_guard<std::mutex> G(S.M);
+    for (FarNode *N = S.Head; N; N = N->Next)
+      ++Count;
+  }
+  return Count;
+}
+
+void FallbackTicker::run() {
+  std::unique_lock<std::mutex> L(TickM);
+  while (!Stop) {
+    uint64_t Bound = MinDeadline.load(std::memory_order_relaxed);
+    if (Bound == NeverNs) {
+      CV.wait(L);
+      continue;
+    }
+    uint64_t Now = nowNs();
+    if (Now < Bound) {
+      CV.wait_until(L, std::chrono::steady_clock::time_point(
+                           std::chrono::nanoseconds(Bound)));
+      continue; // Re-evaluate: Stop, a lowered bound, or genuinely due.
+    }
+
+    // Sweep. All shard locks are held while the new bound is published,
+    // so a racing add() either lands before (its node is seen here) or
+    // runs its atomic min strictly after this store — the bound can
+    // only be pessimistic-early, never late.
+    L.unlock();
+    uint64_t NewMin = NeverNs;
+    for (Shard &S : Shards)
+      S.M.lock();
+    for (Shard &S : Shards) {
+      FarNode *N = S.Head;
+      while (N) {
+        FarNode *Next = N->Next;
+        if (N->DeadlineNs <= Now) {
+          // Fire: the waiter observes the clock itself on wake. Signal
+          // under the shard lock — the waiter cannot deregister (nor
+          // its monitor die) until we release it.
+          N->Cond->signalAll();
+          if (N->Prev)
+            N->Prev->Next = N->Next;
+          else
+            S.Head = N->Next;
+          if (N->Next)
+            N->Next->Prev = N->Prev;
+          N->Prev = N->Next = nullptr;
+          N->S = FarNode::State::Fired;
+        } else if (N->DeadlineNs < NewMin) {
+          NewMin = N->DeadlineNs;
+        }
+        N = Next;
+      }
+    }
+    MinDeadline.store(NewMin, std::memory_order_relaxed);
+    for (size_t I = NumShards; I != 0; --I)
+      Shards[I - 1].M.unlock();
+    L.lock();
+  }
+}

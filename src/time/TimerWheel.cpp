@@ -1,0 +1,198 @@
+//===- time/TimerWheel.cpp - Hierarchical timer wheel ----------------------===//
+//
+// Part of AutoSynch-C++, a reproduction of "AutoSynch: An Automatic-Signal
+// Monitor Based on Predicate Tagging" (Hung & Garg, PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "time/TimerWheel.h"
+
+#include "support/Check.h"
+
+#include <algorithm>
+#include <bit>
+
+using namespace autosynch;
+using namespace autosynch::time;
+
+namespace {
+
+constexpr uint64_t SlotMask = TimerWheel::Slots - 1;
+
+/// Ticks one level spans per slot.
+constexpr int levelShift(int L) { return TimerWheel::SlotBits * L; }
+
+} // namespace
+
+TimerWheel::TimerWheel(uint64_t Tick, uint64_t StartNs) : TickNs(Tick) {
+  AUTOSYNCH_CHECK(Tick > 0, "timer wheel tick must be positive");
+  CurTick = StartNs / TickNs;
+}
+
+void TimerWheel::linkLocked(TimerNode &N) {
+  uint64_t DTick = N.DeadlineNs / TickNs;
+  if (DTick < CurTick)
+    DTick = CurTick; // Already due; fires on the next elapsed tick.
+  uint64_t Delta = DTick - CurTick;
+
+  int L = 0;
+  while (L + 1 < Levels && Delta >= (uint64_t{1} << levelShift(L + 1)))
+    ++L;
+  if (Delta >= (uint64_t{1} << levelShift(Levels))) {
+    // Beyond the horizon: park in the farthest top-level slot; each pass
+    // through the top window re-buckets it until the deadline is in range.
+    DTick = CurTick + (uint64_t{1} << levelShift(Levels)) - 1;
+    L = Levels - 1;
+  }
+
+  unsigned Slot =
+      static_cast<unsigned>((DTick >> levelShift(L)) & SlotMask);
+  N.Level = static_cast<uint8_t>(L);
+  N.Slot = static_cast<uint8_t>(Slot);
+  N.S = TimerNode::State::Queued;
+  SlotList &List = Wheel[L][Slot];
+  N.Prev = nullptr;
+  N.Next = List.Head;
+  if (List.Head)
+    List.Head->Prev = &N;
+  List.Head = &N;
+  Occ[L] |= uint64_t{1} << Slot;
+
+  uint64_t BoundNs = DTick * TickNs; // DTick * TickNs <= DeadlineNs.
+  if (BoundNs < NextDueBound.load(std::memory_order_relaxed))
+    NextDueBound.store(BoundNs, std::memory_order_relaxed);
+}
+
+void TimerWheel::unlinkLocked(TimerNode &N) {
+  SlotList &List = Wheel[N.Level][N.Slot];
+  if (N.Prev)
+    N.Prev->Next = N.Next;
+  else {
+    AUTOSYNCH_CHECK(List.Head == &N, "timer node not at its slot head");
+    List.Head = N.Next;
+  }
+  if (N.Next)
+    N.Next->Prev = N.Prev;
+  if (!List.Head)
+    Occ[N.Level] &= ~(uint64_t{1} << N.Slot);
+  N.Prev = N.Next = nullptr;
+}
+
+void TimerWheel::refreshDueBoundLocked() {
+  uint64_t Bound = NeverNs;
+  for (int L = 0; L != Levels; ++L) {
+    uint64_t Mask = Occ[L];
+    if (!Mask)
+      continue;
+    uint64_t CL = CurTick >> levelShift(L);
+    uint64_t WindowBase = CL & ~SlotMask;
+    uint64_t Earliest = NeverNs;
+    while (Mask) {
+      unsigned Bit = static_cast<unsigned>(std::countr_zero(Mask));
+      Mask &= Mask - 1;
+      uint64_t Cnt = WindowBase | Bit;
+      // Level 0 slots hold counters in [CL, CL+64); higher levels hold
+      // (CL, CL+64] (the current-counter slot was cascaded on entry).
+      if (L == 0 ? Cnt < CL : Cnt <= CL)
+        Cnt += Slots;
+      Earliest = std::min(Earliest, Cnt << levelShift(L));
+    }
+    Bound = std::min(Bound, Earliest * TickNs);
+  }
+  NextDueBound.store(Bound, std::memory_order_relaxed);
+}
+
+void TimerWheel::insert(TimerNode &N) {
+  AUTOSYNCH_CHECK(N.DeadlineNs != NeverNs,
+                  "unbounded waits do not register timers");
+  std::lock_guard<std::mutex> G(Lock);
+  AUTOSYNCH_CHECK(N.S != TimerNode::State::Queued,
+                  "timer node inserted twice");
+  linkLocked(N);
+  Count.fetch_add(1, std::memory_order_relaxed);
+}
+
+bool TimerWheel::cancel(TimerNode &N) {
+  std::lock_guard<std::mutex> G(Lock);
+  if (N.S != TimerNode::State::Queued) {
+    N.S = TimerNode::State::Idle;
+    return false;
+  }
+  unlinkLocked(N);
+  N.S = TimerNode::State::Idle;
+  Count.fetch_sub(1, std::memory_order_relaxed);
+  refreshDueBoundLocked();
+  return true;
+}
+
+void TimerWheel::cascadeLocked(int L) {
+  unsigned Slot =
+      static_cast<unsigned>((CurTick >> levelShift(L)) & SlotMask);
+  TimerNode *N = Wheel[L][Slot].Head;
+  Wheel[L][Slot].Head = nullptr;
+  Occ[L] &= ~(uint64_t{1} << Slot);
+  while (N) {
+    TimerNode *Next = N->Next;
+    linkLocked(*N); // Re-buckets relative to the advanced CurTick.
+    N = Next;
+  }
+}
+
+size_t TimerWheel::advance(uint64_t NowNanos, std::vector<TimerNode *> &Out) {
+  std::lock_guard<std::mutex> G(Lock);
+  uint64_t NowTick = NowNanos / TickNs;
+  size_t Fired = 0;
+
+  while (CurTick < NowTick) {
+    if (Count.load(std::memory_order_relaxed) == 0) {
+      CurTick = NowTick;
+      break;
+    }
+
+    unsigned Idx = static_cast<unsigned>(CurTick & SlotMask);
+    if (Idx == 0) {
+      // Entering a new level-0 window: pull the matching level-1 slot
+      // down, and recursively higher levels on their own window
+      // boundaries. Lazy cascade — no work happens between boundaries.
+      for (int L = 1; L != Levels; ++L) {
+        cascadeLocked(L);
+        if (((CurTick >> levelShift(L)) & SlotMask) != 0)
+          break;
+      }
+    }
+
+    // Retire the current tick's slot: every node here has deadline tick
+    // CurTick < NowTick, so its deadline is certainly in the past.
+    TimerNode *N = Wheel[0][Idx].Head;
+    Wheel[0][Idx].Head = nullptr;
+    Occ[0] &= ~(uint64_t{1} << Idx);
+    size_t SlotFired = 0;
+    while (N) {
+      TimerNode *Next = N->Next;
+      N->Prev = N->Next = nullptr;
+      N->S = TimerNode::State::Fired;
+      Out.push_back(N);
+      ++SlotFired;
+      N = Next;
+    }
+    Fired += SlotFired;
+    Count.fetch_sub(SlotFired, std::memory_order_relaxed);
+
+    ++CurTick;
+    // Skip-scan the rest of the window: jump straight to the next
+    // occupied level-0 slot (or the window boundary, where the cascade
+    // must run) instead of stepping idle ticks one by one.
+    unsigned NIdx = static_cast<unsigned>(CurTick & SlotMask);
+    if (NIdx != 0) {
+      uint64_t WindowBase = CurTick - NIdx;
+      uint64_t M = Occ[0] & (~uint64_t{0} << NIdx);
+      uint64_t Next =
+          M ? WindowBase + static_cast<unsigned>(std::countr_zero(M))
+            : WindowBase + Slots;
+      CurTick = std::min(Next, NowTick);
+    }
+  }
+
+  refreshDueBoundLocked();
+  return Fired;
+}

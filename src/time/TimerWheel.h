@@ -1,0 +1,157 @@
+//===- time/TimerWheel.h - Hierarchical timer wheel ------------*- C++ -*-===//
+//
+// Part of AutoSynch-C++, a reproduction of "AutoSynch: An Automatic-Signal
+// Monitor Based on Predicate Tagging" (Hung & Garg, PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The deadline runtime's timer store: a hierarchical timing wheel (Varghese
+/// & Lauck) of Levels wheels with Slots slots each, at a fixed tick
+/// resolution. insert() and cancel() are O(1) — a level/slot computation
+/// plus an intrusive doubly-linked-list splice — and advance() moves every
+/// node whose deadline tick has fully elapsed to the caller, cascading
+/// higher-level slots down lazily as the current tick crosses window
+/// boundaries.
+///
+/// Deployment model (see core/ConditionManager.h): each condition manager
+/// owns one wheel holding its blocked timed waiters. The wheel has its own
+/// internal lock — sharded off the monitor mutex — so the structure itself
+/// never contends with monitor regions; advance() is *driven lazily* from
+/// the monitor's wait/exit paths (every relaySignal polls it through two
+/// relaxed loads and a clock read only when timers exist and could be due).
+/// There is deliberately no ticker thread: the fallback tick that guarantees
+/// an expiry is noticed even when no other thread touches the monitor is
+/// the expiring waiter's own bounded condvar wait (sync::Condition::
+/// awaitUntil), which returns at the deadline regardless of traffic. The
+/// wheel therefore only ever *accelerates* expiry processing and carries
+/// the bookkeeping that lets exiting threads retire expired waiters from
+/// relay consideration promptly.
+///
+/// Nodes are intrusive and caller-owned (the waiting thread's stack frame);
+/// all node state transitions happen under the wheel lock, and the
+/// embedding code (the condition manager) guarantees a node outlives its
+/// wheel membership by cancelling before the frame unwinds.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AUTOSYNCH_TIME_TIMERWHEEL_H
+#define AUTOSYNCH_TIME_TIMERWHEEL_H
+
+#include "time/Deadline.h"
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace autosynch::time {
+
+/// One pending timer, embedded in its owner (for monitor waits: the
+/// blocked thread's stack-allocated TimedWait). All fields other than
+/// Owner/DeadlineNs are wheel-internal.
+struct TimerNode {
+  TimerNode *Prev = nullptr;
+  TimerNode *Next = nullptr;
+  /// Absolute monotonic deadline (time::nowNs domain).
+  uint64_t DeadlineNs = 0;
+  /// Opaque back-pointer for the embedding layer (the condition manager
+  /// stores its TimedWait here).
+  void *Owner = nullptr;
+
+  enum class State : uint8_t {
+    Idle,   ///< Not in any wheel.
+    Queued, ///< Linked into a wheel slot.
+    Fired   ///< Extracted by advance(); awaiting owner-side processing.
+  };
+  State S = State::Idle;
+
+  /// Wheel-internal placement (valid while Queued).
+  uint8_t Level = 0;
+  uint8_t Slot = 0;
+};
+
+/// Hierarchical timing wheel. Thread-safe; every public member may be
+/// called from any thread.
+class TimerWheel {
+public:
+  static constexpr int SlotBits = 6;
+  static constexpr int Slots = 1 << SlotBits; // 64
+  static constexpr int Levels = 4;
+  /// Default resolution: 2^17 ns ≈ 131 µs per tick. Level 0 then spans
+  /// ~8.4 ms, level 1 ~540 ms, level 2 ~34 s, level 3 ~37 min; deadlines
+  /// beyond the horizon clamp to the top level and re-cascade.
+  static constexpr uint64_t DefaultTickNs = uint64_t{1} << 17;
+
+  /// Registration horizon for the condition manager's waiters: only
+  /// deadlines within ~4.3 s are worth a wheel entry. A farther waiter
+  /// wakes itself at its own bounded block regardless (the wheel only
+  /// *accelerates* retirement), and skipping it keeps generous-deadline
+  /// hot paths free of wheel traffic and exit-path expiry probes.
+  static constexpr uint64_t NearHorizonNs = uint64_t{1} << 32;
+
+  explicit TimerWheel(uint64_t TickNs = DefaultTickNs)
+      : TimerWheel(TickNs, nowNs()) {}
+  TimerWheel(uint64_t TickNs, uint64_t StartNs);
+  TimerWheel(const TimerWheel &) = delete;
+  TimerWheel &operator=(const TimerWheel &) = delete;
+
+  /// Queues \p N to fire once its deadline tick has elapsed. \p N must be
+  /// Idle or Fired (re-arming a fired node is allowed); DeadlineNs must be
+  /// set and must not be NeverNs (an unbounded wait has no timer).
+  void insert(TimerNode &N);
+
+  /// Unlinks \p N if it is still queued. Returns false when the node was
+  /// already extracted by advance() (or was never queued); either way the
+  /// node is Idle on return and safe to destroy or re-arm.
+  bool cancel(TimerNode &N);
+
+  /// Moves every node whose deadline tick has fully elapsed at \p NowNanos
+  /// (DeadlineNs >> tick < NowNanos >> tick, so the node's deadline is
+  /// certainly in the past) into \p Out, marking each Fired. Returns the
+  /// number of nodes fired. Nodes in the current partial tick fire on a
+  /// later call — at most one tick of wheel-side latency, which the
+  /// waiters' own bounded blocks absorb.
+  size_t advance(uint64_t NowNanos, std::vector<TimerNode *> &Out);
+
+  /// Number of queued nodes. Relaxed read: the monitor exit path uses it
+  /// as a zero-cost "any timers at all?" gate.
+  size_t size() const { return Count.load(std::memory_order_relaxed); }
+
+  /// Lower bound on the earliest queued deadline (NeverNs when empty):
+  /// no node can fire before this instant, so callers skip the clock-
+  /// compare-advance dance while now is below it. Relaxed read; may be
+  /// conservative (early) but never late.
+  uint64_t nextDueBoundNs() const {
+    return NextDueBound.load(std::memory_order_relaxed);
+  }
+
+  uint64_t tickNs() const { return TickNs; }
+
+private:
+  struct SlotList {
+    TimerNode *Head = nullptr;
+  };
+
+  void linkLocked(TimerNode &N);
+  void unlinkLocked(TimerNode &N);
+  /// Re-buckets every node of level \p L's current slot (called as the
+  /// current tick enters a new level-(L-1) window).
+  void cascadeLocked(int L);
+  /// Recomputes NextDueBound from the occupancy bitmaps.
+  void refreshDueBoundLocked();
+
+  const uint64_t TickNs;
+  mutable std::mutex Lock;
+  /// Next tick advance() will retire (ticks strictly below have fired).
+  uint64_t CurTick;
+  SlotList Wheel[Levels][Slots];
+  /// Per-level bitmask of non-empty slots, for skip-scans over idle gaps.
+  uint64_t Occ[Levels] = {0, 0, 0, 0};
+  std::atomic<size_t> Count{0};
+  std::atomic<uint64_t> NextDueBound{NeverNs};
+};
+
+} // namespace autosynch::time
+
+#endif // AUTOSYNCH_TIME_TIMERWHEEL_H

@@ -103,6 +103,11 @@ struct StageRuntime {
   std::atomic<uint64_t> FirstNs{~0ULL};
   std::atomic<uint64_t> LastNs{0};
 
+  /// Channel-op expiries charged to this stage (timed runs only): takes
+  /// from the input channel that expired, plus puts into it that expired
+  /// against its backpressure. Rare events; one shared counter is fine.
+  std::atomic<int64_t> OpTimeouts{0};
+
   /// Token arrival stamps at this stage, indexed by token id; written by
   /// the producing side before put(), read by the worker after take().
   /// Deliberately sized to the global token count even under fan-out
@@ -147,7 +152,14 @@ void Engine::forward(StageRuntime &From, int64_t Id, uint64_t Now,
       *Stages[Down[static_cast<uint64_t>(Id) % Down.size()]];
   Dest.ArrivalNs[Id] = Now;
   atomicMin(Dest.FirstNs, Now);
-  Dest.In->put(Id);
+  if (Cfg.OpTimeoutNs == 0) {
+    Dest.In->put(Id);
+    return;
+  }
+  // Timed run: bound every put by the op deadline and retry on expiry —
+  // conservation is sacred (quotas are exact), the count is the signal.
+  while (!Dest.In->putFor(Id, Cfg.OpTimeoutNs))
+    Dest.OpTimeouts.fetch_add(1, std::memory_order_relaxed);
 }
 
 void Engine::sourceLoop(StageRuntime &St, int64_t IdBase) {
@@ -189,7 +201,13 @@ void Engine::workerLoop(StageRuntime &St, int WorkerIdx) {
   for (;;) {
     if (St.Remaining.fetch_sub(1, std::memory_order_relaxed) <= 0)
       break;
-    int64_t Id = St.In->take();
+    int64_t Id;
+    if (Cfg.OpTimeoutNs == 0) {
+      Id = St.In->take();
+    } else {
+      while (!St.In->takeFor(Id, Cfg.OpTimeoutNs))
+        St.OpTimeouts.fetch_add(1, std::memory_order_relaxed);
+    }
 
     switch (S.Kind) {
     case StageKind::Queue:
@@ -321,6 +339,8 @@ ScenarioReport Engine::run() {
   PlanCountersSnapshot Plan0 = PlanCounters::global().snapshot();
   sync::RelayCountersSnapshot Relay0 =
       sync::RelayCounters::global().snapshot();
+  sync::TimedCountersSnapshot Time0 =
+      sync::TimedCounters::global().snapshot();
   StartGate.arrive_and_wait();
   Stopwatch Watch;
   for (std::thread &T : Pool)
@@ -338,6 +358,7 @@ ScenarioReport Engine::run() {
   R.WallSeconds = Wall;
   R.Sync = sync::Counters::global().snapshot() - Sync0;
   R.Plan = PlanCounters::global().snapshot() - Plan0;
+  R.OpTimeoutNs = Cfg.OpTimeoutNs;
 
   int64_t SinkTokens = 0;
   for (size_t I = 0; I != Stages.size(); ++I) {
@@ -347,6 +368,8 @@ ScenarioReport Engine::run() {
     SR.Kind = St.Spec->Kind;
     SR.Workers = St.Spec->Kind == StageKind::Source ? 1 : St.Spec->Workers;
     SR.Tokens = St.ExpectedTokens;
+    SR.OpTimeouts = St.OpTimeouts.load(std::memory_order_relaxed);
+    R.OpTimeouts += SR.OpTimeouts;
     if (St.RW) {
       SR.Reads = St.RW->reads();
       SR.Writes = St.RW->writes();
@@ -377,6 +400,7 @@ ScenarioReport Engine::run() {
   // otherwise a run with few relays per monitor reports zeros.
   Stages.clear();
   R.Relay = sync::RelayCounters::global().snapshot() - Relay0;
+  R.Time = sync::TimedCounters::global().snapshot() - Time0;
 
   setDefaultRelayFilter(PrevFilter);
   return R;
@@ -435,6 +459,19 @@ void workload::writeReportJson(const ScenarioReport &R, JsonWriter &J) {
       .member("filtered_exprs", R.Relay.FilteredExprs)
       .member("stamp_short_circuits", R.Relay.StampShortCircuits)
       .endObject();
+  // Schema v4: the deadline-runtime block. op_timeout_ns echoes the
+  // per-op bound in force (0 = untimed run), op_timeouts totals the
+  // per-stage expiry counts, and the "time" counters are the process-wide
+  // deadline-runtime deltas.
+  J.member("op_timeout_ns", R.OpTimeoutNs)
+      .member("op_timeouts", R.OpTimeouts);
+  J.key("time");
+  J.beginObject()
+      .member("timed_waits", R.Time.TimedWaits)
+      .member("timeouts", R.Time.Timeouts)
+      .member("cancels", R.Time.Cancels)
+      .member("wheel_wakeups", R.Time.WheelWakeups)
+      .endObject();
   J.key("stages");
   J.beginArray();
   for (const StageReport &S : R.Stages) {
@@ -447,6 +484,8 @@ void workload::writeReportJson(const ScenarioReport &R, JsonWriter &J) {
         .member("throughput_tokens_per_sec", S.Throughput);
     if (S.Kind == StageKind::ReadersWriters)
       J.member("reads", S.Reads).member("writes", S.Writes);
+    if (R.OpTimeoutNs != 0)
+      J.member("op_timeouts", S.OpTimeouts);
     J.key("latency_ns");
     writeHistogramJson(J, S.Latency);
     J.endObject();

@@ -55,6 +55,13 @@ struct RunConfig {
   bool OverrideArrival = false;
   Arrival Process = Arrival::Closed;
   double RatePerSec = 0.0;
+
+  /// Per-operation deadline on every channel put/take (0 = untimed, the
+  /// classic engine). A timed-out op is *retried* until it lands — token
+  /// conservation and the per-stage quotas stay exact — with each expiry
+  /// counted per stage, so the sweep exposes how often backpressure
+  /// exceeds the bound without ever dropping work.
+  uint64_t OpTimeoutNs = 0;
 };
 
 /// Per-stage results.
@@ -68,6 +75,11 @@ struct StageReport {
   /// ReadersWriters stages: the seed-determined op split (0 elsewhere).
   int64_t Reads = 0;
   int64_t Writes = 0;
+  /// Channel-op expiries charged to this stage under RunConfig::
+  /// OpTimeoutNs: timed-out takes from its input channel plus timed-out
+  /// puts *into* it (the producer was blocked by this stage's
+  /// backpressure). 0 in untimed runs.
+  int64_t OpTimeouts = 0;
   /// Stage sojourn per token: enqueue on the input channel to forward.
   /// Empty for sources.
   LatencyHistogram Latency;
@@ -94,6 +106,13 @@ struct ScenarioReport {
   /// Dirty-set relay deltas over the run (process-wide): skipped relays,
   /// read-set-filtered index entries, stamp short-circuits.
   sync::RelayCountersSnapshot Relay;
+  /// Deadline-runtime deltas over the run (process-wide): timed waits
+  /// that blocked, expiries, cancels, exit-path wheel wakeups.
+  sync::TimedCountersSnapshot Time;
+  /// The per-op deadline in force (RunConfig::OpTimeoutNs) and the total
+  /// op expiries across stages.
+  uint64_t OpTimeoutNs = 0;
+  int64_t OpTimeouts = 0;
   std::vector<StageReport> Stages;
 };
 

@@ -83,6 +83,23 @@ TEST(TableTest, Formatters) {
 // Drivers (small smoke runs; conservation is asserted via problem state)
 //===----------------------------------------------------------------------===//
 
+TEST(DriversTest, LeaseManagerDriverBalancesGrants) {
+  auto L = makeLeaseManager(Mechanism::AutoSynch, 3);
+  RunMetrics M = runLeaseManager(*L, 4, 400, /*TimedEvery=*/5,
+                                 /*TimeoutNs=*/10u * 1000 * 1000);
+  EXPECT_EQ(L->available(), 3);
+  // Every op eventually acquired (timed expiries are retried).
+  EXPECT_GE(L->grants(), 400);
+  EXPECT_GE(M.Seconds, 0.0);
+}
+
+TEST(DriversTest, TokenBucketDriverConservesTokens) {
+  auto B = makeTokenBucket(Mechanism::AutoSynch, 16);
+  runTokenBucket(*B, 3, 16, 4000, /*Seed=*/11);
+  EXPECT_EQ(B->tokens(), 0); // Supply exactly covered demand.
+  EXPECT_EQ(B->timeouts(), 0);
+}
+
 TEST(DriversTest, BoundedBufferDriverDrains) {
   auto B = makeBoundedBuffer(Mechanism::AutoSynch, 8);
   RunMetrics M = runBoundedBuffer(*B, 2, 2, 500);

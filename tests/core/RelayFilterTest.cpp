@@ -39,7 +39,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <functional>
+#include <memory>
 #include <thread>
 #include <vector>
 
@@ -161,8 +163,9 @@ TEST_P(RelayFilterPolicyTest, AlwaysFilterNeverSkips) {
   EXPECT_EQ(S.Search.FilteredExprs, 0u);
   // The ablation baseline really scans: every exit ran a search.
   EXPECT_GE(S.RelayCalls, static_cast<uint64_t>(Ops));
-  if (GetParam() == SignalPolicy::LinearScan)
+  if (GetParam() == SignalPolicy::LinearScan) {
     EXPECT_GE(S.Search.PredicateChecks, static_cast<uint64_t>(Ops));
+  }
 
   M.setLevel(100);
   W.join();
@@ -244,10 +247,11 @@ TEST(RelayFilterTest, StampsStayCorrectAcrossRevivalAndEviction) {
     }
 
     const ManagerStats &S = M.conditionManager().stats();
-    if (CacheLimit == 0)
+    if (CacheLimit == 0) {
       EXPECT_GE(S.Evictions, 1u);
-    else
+    } else {
       EXPECT_GE(S.CacheReuses, 1u);
+    }
   }
 }
 
@@ -615,6 +619,62 @@ TEST(RelayFilterOracleTest, SantaClausGroups) {
       T.join();
     return std::vector<int64_t>{S->deliveries(), S->consultations()};
   });
+}
+
+/// A monitor with more shared variables than the VarSet word width, so
+/// both the dirty set and the waiters' read sets saturate. The filter
+/// must degrade to conservative (scan everything), never drop a wakeup.
+class WideMonitor : public Monitor {
+public:
+  explicit WideMonitor(MonitorConfig Cfg) : Monitor(Cfg) {
+    Vars.reserve(NumVars);
+    for (int I = 0; I != NumVars; ++I)
+      Vars.push_back(std::make_unique<Shared<int64_t>>(
+          *this, "v" + std::to_string(I), 0));
+  }
+
+  void set(int I, int64_t V) {
+    Region R(*this);
+    *Vars[I] = V;
+  }
+
+  bool awaitAtLeast(int I, int64_t Want,
+                    std::chrono::nanoseconds Timeout) {
+    Region R(*this);
+    return waitUntilFor(Vars[I]->expr() >= lit(Want), Timeout);
+  }
+
+  AUTOSYNCH_TEST_WAITER_PROBE()
+
+  static constexpr int NumVars = 72; // > VarSet::MaxDirect.
+
+private:
+  std::vector<std::unique_ptr<Shared<int64_t>>> Vars;
+};
+
+TEST_P(RelayFilterPolicyTest, SaturatedSetsNeverDropAWakeup) {
+  // Waiters parked on variables above the saturation boundary (their
+  // read sets are universal) and below it, while unrelated writes churn
+  // the dirty set across the boundary: every waiter must be woken when
+  // its own variable is finally written.
+  WideMonitor M(relayConfig(GetParam(), RelayFilter::DirtySet));
+  constexpr int HighVar = 70, LowVar = 3, NoiseVar = 68;
+  std::thread THigh([&] {
+    EXPECT_TRUE(
+        M.awaitAtLeast(HighVar, 1, std::chrono::seconds(30)));
+  });
+  std::thread TLow([&] {
+    EXPECT_TRUE(M.awaitAtLeast(LowVar, 1, std::chrono::seconds(30)));
+  });
+  awaitWaiters(M, 2);
+  // Noise writes: dirty set saturates (NoiseVar >= 64) and clears again
+  // through empty-handed scans; waiters must survive every transition.
+  for (int I = 0; I != 50; ++I)
+    M.set(NoiseVar, I + 1);
+  M.set(HighVar, 1);
+  THigh.join();
+  M.set(LowVar, 1);
+  TLow.join();
 }
 
 } // namespace

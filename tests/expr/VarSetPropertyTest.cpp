@@ -1,0 +1,171 @@
+//===- tests/expr/VarSetPropertyTest.cpp - VarSet saturation properties ----===//
+//
+// Part of AutoSynch-C++, a reproduction of "AutoSynch: An Automatic-Signal
+// Monitor Based on Predicate Tagging" (Hung & Garg, PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+//
+// Property tests for the ≥64-VarId saturation path of the relay filter's
+// bitmask sets. The reference model is an exact std::set of ids with an
+// explicit "universal" flag for saturation; VarSet must never
+// *under-approximate* it — a saturated set has to behave as "intersects
+// everything non-empty" in relay filtering, or a wakeup could be dropped.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+#include "expr/VarSet.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+using namespace autosynch;
+
+namespace {
+
+/// Exact reference: ids plus a universal flag (ids >= MaxDirect saturate,
+/// mirroring VarSet's contract, but here without losing the id set).
+struct RefSet {
+  std::set<VarId> Ids;
+  bool Universal = false;
+
+  void add(VarId Id) {
+    if (Id >= VarSet::MaxDirect)
+      Universal = true;
+    else
+      Ids.insert(Id);
+  }
+  void unionWith(const RefSet &O) {
+    Ids.insert(O.Ids.begin(), O.Ids.end());
+    Universal = Universal || O.Universal;
+  }
+  bool empty() const { return Ids.empty() && !Universal; }
+  bool contains(VarId Id) const {
+    return Universal || Ids.count(Id) != 0;
+  }
+  bool intersects(const RefSet &O) const {
+    if (empty() || O.empty())
+      return false;
+    if (Universal || O.Universal)
+      return true;
+    for (VarId Id : Ids)
+      if (O.Ids.count(Id))
+        return true;
+    return false;
+  }
+  void clear() {
+    Ids.clear();
+    Universal = false;
+  }
+};
+
+struct Pair {
+  VarSet S;
+  RefSet R;
+
+  void check() const {
+    EXPECT_EQ(S.empty(), R.empty());
+    EXPECT_EQ(S.universal(), R.Universal);
+    for (VarId Id = 0; Id != 96; ++Id)
+      EXPECT_EQ(S.contains(Id), R.contains(Id)) << "id " << Id;
+  }
+};
+
+TEST(VarSetPropertyTest, RandomOpsMatchReference) {
+  AUTOSYNCH_SEEDED_RNG(Rng, 4401);
+  for (int Round = 0; Round != 50; ++Round) {
+    std::vector<Pair> Sets(4);
+    for (int Op = 0; Op != 200; ++Op) {
+      Pair &P = Sets[Rng.range(0, Sets.size() - 1)];
+      switch (Rng.range(0, 3)) {
+      case 0: {
+        // Bias toward the saturation boundary.
+        VarId Id = static_cast<VarId>(
+            Rng.chance(1, 3) ? Rng.range(60, 90) : Rng.range(0, 63));
+        P.S.add(Id);
+        P.R.add(Id);
+        break;
+      }
+      case 1: {
+        Pair &O = Sets[Rng.range(0, Sets.size() - 1)];
+        P.S.unionWith(O.S);
+        P.R.unionWith(O.R);
+        break;
+      }
+      case 2: {
+        if (Rng.chance(1, 8)) {
+          P.S.clear();
+          P.R.clear();
+        }
+        break;
+      }
+      default:
+        break;
+      }
+      P.check();
+      // Pairwise relations after every op.
+      for (const Pair &A : Sets)
+        for (const Pair &B : Sets) {
+          EXPECT_EQ(A.S.intersects(B.S), A.R.intersects(B.R));
+          // Symmetry, while we are at it.
+          EXPECT_EQ(A.S.intersects(B.S), B.S.intersects(A.S));
+        }
+    }
+  }
+}
+
+TEST(VarSetPropertyTest, SaturatedSetIntersectsEveryNonEmptySet) {
+  VarSet Saturated;
+  Saturated.add(64); // First out-of-range id.
+  EXPECT_TRUE(Saturated.universal());
+  EXPECT_FALSE(Saturated.empty());
+
+  VarSet Empty;
+  EXPECT_FALSE(Saturated.intersects(Empty));
+  EXPECT_FALSE(Empty.intersects(Saturated));
+
+  for (VarId Id = 0; Id != 80; ++Id) {
+    VarSet Single;
+    Single.add(Id);
+    EXPECT_TRUE(Saturated.intersects(Single)) << "id " << Id;
+    EXPECT_TRUE(Single.intersects(Saturated)) << "id " << Id;
+    EXPECT_TRUE(Saturated.contains(Id)) << "id " << Id;
+  }
+}
+
+TEST(VarSetPropertyTest, EqualityIgnoresMaskOnceSaturated) {
+  // Two universal sets built along different paths are the same set; the
+  // direct-member word is documented as meaningless once saturated and
+  // must not leak into equality.
+  VarSet A;
+  A.add(3);
+  A.add(70); // Saturates with bit 3 set.
+  VarSet B;
+  B.add(90); // Saturates with no direct bits.
+  EXPECT_TRUE(A == B);
+
+  VarSet C;
+  C.add(3);
+  EXPECT_FALSE(A == C);
+  EXPECT_FALSE(C == A);
+
+  VarSet D, E;
+  D.add(5);
+  E.add(5);
+  EXPECT_TRUE(D == E);
+}
+
+TEST(VarSetPropertyTest, UnionPropagatesSaturation) {
+  VarSet A, B;
+  A.add(1);
+  B.add(100);
+  A.unionWith(B);
+  EXPECT_TRUE(A.universal());
+  VarSet Probe;
+  Probe.add(63);
+  EXPECT_TRUE(A.intersects(Probe));
+}
+
+} // namespace

@@ -442,8 +442,9 @@ TEST_F(TagIndexTest, RandomizedDirtyFilterSoundness) {
           [&](ExprRef E) { return eval(E, State).raw(); },
           [&](StubRecord *Rec) { return evalBool(Rec->Pred, State); },
           nullptr, &D);
-      if (OracleHasTrue)
+      if (OracleHasTrue) {
         ASSERT_NE(Found, nullptr) << "round " << Round;
+      }
       if (Found) {
         ASSERT_TRUE(evalBool(Found->Pred, State));
       }

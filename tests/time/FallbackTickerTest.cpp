@@ -1,0 +1,120 @@
+//===- tests/time/FallbackTickerTest.cpp - Far-deadline fallback tick ------===//
+//
+// Part of AutoSynch-C++, a reproduction of "AutoSynch: An Automatic-Signal
+// Monitor Based on Predicate Tagging" (Hung & Garg, PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+//
+// Direct tests of the process-wide far-deadline sweeper: parked nodes
+// fire a signalAll at (or promptly after) their deadline, removal before
+// the deadline suppresses the fire, and the intrusive bookkeeping
+// balances. The condition-manager integration (far waits block unbounded
+// and are woken by the ticker) is covered end-to-end by TimedWaitTest's
+// generous-deadline cases; here the horizon does not apply because the
+// ticker itself accepts any bounded deadline.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+#include "sync/Mutex.h"
+#include "time/Deadline.h"
+#include "time/FallbackTicker.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <vector>
+
+using namespace autosynch;
+using namespace std::chrono_literals;
+
+namespace {
+
+uint64_t inMs(uint64_t Ms) { return time::nowNs() + Ms * 1000000; }
+
+/// Waits until \p Cond's signalAll count reaches \p Want (bounded).
+bool awaitSignalAll(sync::Condition &Cond, uint64_t Want,
+                    std::chrono::seconds Bound) {
+  auto Give = std::chrono::steady_clock::now() + Bound;
+  while (Cond.signalAllCount() < Want) {
+    if (std::chrono::steady_clock::now() >= Give)
+      return false;
+    std::this_thread::sleep_for(1ms);
+  }
+  return true;
+}
+
+TEST(FallbackTickerTest, FiresAtDeadline) {
+  sync::Mutex M;
+  auto Cond = M.newCondition();
+  time::FarNode N;
+  N.Cond = Cond.get();
+  N.DeadlineNs = inMs(60);
+  uint64_t T0 = time::nowNs();
+  time::FallbackTicker::global().add(N);
+  EXPECT_TRUE(awaitSignalAll(*Cond, 1, 10s)) << "ticker never fired";
+  uint64_t Elapsed = time::nowNs() - T0;
+  EXPECT_GE(Elapsed, 60u * 1000000) << "fired before the deadline";
+  // The node fired; removal afterwards is a clean no-op.
+  time::FallbackTicker::global().remove(N);
+  EXPECT_EQ(N.S, time::FarNode::State::Idle);
+}
+
+TEST(FallbackTickerTest, RemoveBeforeDeadlineSuppressesFire) {
+  sync::Mutex M;
+  auto Cond = M.newCondition();
+  time::FarNode N;
+  N.Cond = Cond.get();
+  N.DeadlineNs = inMs(150);
+  size_t Before = time::FallbackTicker::global().pending();
+  time::FallbackTicker::global().add(N);
+  EXPECT_EQ(time::FallbackTicker::global().pending(), Before + 1);
+  time::FallbackTicker::global().remove(N);
+  EXPECT_EQ(time::FallbackTicker::global().pending(), Before);
+  std::this_thread::sleep_for(250ms);
+  EXPECT_EQ(Cond->signalAllCount(), 0u) << "removed node still fired";
+}
+
+TEST(FallbackTickerTest, EarlierParkReArmsTheSweeper) {
+  sync::Mutex M;
+  auto Late = M.newCondition();
+  auto Early = M.newCondition();
+  time::FarNode NL, NE;
+  NL.Cond = Late.get();
+  NL.DeadlineNs = inMs(30000); // The sweeper arms for 30s out...
+  time::FallbackTicker::global().add(NL);
+  std::this_thread::sleep_for(20ms);
+  NE.Cond = Early.get();
+  NE.DeadlineNs = inMs(50); // ...then a much earlier park arrives.
+  time::FallbackTicker::global().add(NE);
+  EXPECT_TRUE(awaitSignalAll(*Early, 1, 10s))
+      << "sweeper slept through a lowered earliest deadline";
+  EXPECT_EQ(Late->signalAllCount(), 0u);
+  time::FallbackTicker::global().remove(NL);
+  time::FallbackTicker::global().remove(NE);
+}
+
+TEST(FallbackTickerTest, ManyNodesFireExactlyOnce) {
+  AUTOSYNCH_SEEDED_RNG(R, 5150);
+  sync::Mutex M;
+  constexpr int Nodes = 32;
+  std::vector<std::unique_ptr<sync::Condition>> Conds;
+  std::vector<time::FarNode> Ns(Nodes);
+  for (int I = 0; I != Nodes; ++I) {
+    Conds.push_back(M.newCondition());
+    Ns[I].Cond = Conds.back().get();
+    Ns[I].DeadlineNs = inMs(static_cast<uint64_t>(R.range(20, 200)));
+    time::FallbackTicker::global().add(Ns[I]);
+  }
+  for (int I = 0; I != Nodes; ++I)
+    EXPECT_TRUE(awaitSignalAll(*Conds[I], 1, 10s)) << "node " << I;
+  std::this_thread::sleep_for(50ms);
+  for (int I = 0; I != Nodes; ++I) {
+    EXPECT_EQ(Conds[I]->signalAllCount(), 1u) << "node " << I;
+    time::FallbackTicker::global().remove(Ns[I]);
+  }
+}
+
+} // namespace

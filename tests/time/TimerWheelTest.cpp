@@ -1,0 +1,204 @@
+//===- tests/time/TimerWheelTest.cpp - Hierarchical wheel unit tests -------===//
+//
+// Part of AutoSynch-C++, a reproduction of "AutoSynch: An Automatic-Signal
+// Monitor Based on Predicate Tagging" (Hung & Garg, PLDI 2013).
+//
+//===----------------------------------------------------------------------===//
+//
+// Deterministic single-threaded tests of the timer wheel: a synthetic
+// clock (plain uint64 nanoseconds fed to insert/advance) drives the
+// cascade through every level, and a randomized differential test checks
+// the wheel against a sorted-reference implementation.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+#include "time/TimerWheel.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <vector>
+
+using namespace autosynch;
+using namespace autosynch::time;
+
+namespace {
+
+/// Tick of 1 µs keeps the arithmetic human-readable.
+constexpr uint64_t Tick = 1000;
+
+struct WheelFixture {
+  TimerWheel Wheel{Tick, /*StartNs=*/0};
+  std::vector<TimerNode *> Fired;
+
+  size_t advanceTo(uint64_t Ns) {
+    Fired.clear();
+    return Wheel.advance(Ns, Fired);
+  }
+};
+
+TimerNode makeNode(uint64_t DeadlineNs) {
+  TimerNode N;
+  N.DeadlineNs = DeadlineNs;
+  return N;
+}
+
+TEST(TimerWheelTest, FiresAfterDeadlineTickElapses) {
+  WheelFixture F;
+  TimerNode N = makeNode(5 * Tick + 100);
+  F.Wheel.insert(N);
+  EXPECT_EQ(F.Wheel.size(), 1u);
+
+  // The deadline tick (5) has not fully elapsed at t=5.5 ticks.
+  EXPECT_EQ(F.advanceTo(5 * Tick + 500), 0u);
+  // One tick later it has; the node fires exactly once.
+  EXPECT_EQ(F.advanceTo(6 * Tick), 1u);
+  ASSERT_EQ(F.Fired.size(), 1u);
+  EXPECT_EQ(F.Fired[0], &N);
+  EXPECT_EQ(N.S, TimerNode::State::Fired);
+  EXPECT_EQ(F.Wheel.size(), 0u);
+  EXPECT_EQ(F.advanceTo(100 * Tick), 0u);
+}
+
+TEST(TimerWheelTest, CancelBeforeFire) {
+  WheelFixture F;
+  TimerNode N = makeNode(10 * Tick);
+  F.Wheel.insert(N);
+  EXPECT_TRUE(F.Wheel.cancel(N));
+  EXPECT_EQ(N.S, TimerNode::State::Idle);
+  EXPECT_EQ(F.Wheel.size(), 0u);
+  EXPECT_EQ(F.advanceTo(1000 * Tick), 0u);
+  // Cancel after fire reports "too late" but leaves the node reusable.
+  TimerNode M = makeNode(2000 * Tick);
+  F.Wheel.insert(M);
+  EXPECT_EQ(F.advanceTo(3000 * Tick), 1u);
+  EXPECT_FALSE(F.Wheel.cancel(M));
+  EXPECT_EQ(M.S, TimerNode::State::Idle);
+}
+
+TEST(TimerWheelTest, PastDeadlineFiresOnNextAdvance) {
+  WheelFixture F;
+  EXPECT_EQ(F.advanceTo(500 * Tick), 0u);
+  TimerNode N = makeNode(3 * Tick); // Long past.
+  F.Wheel.insert(N);
+  // Clamped to the current tick; the next elapsed tick fires it.
+  EXPECT_EQ(F.advanceTo(502 * Tick), 1u);
+}
+
+TEST(TimerWheelTest, CascadesAcrossEveryLevel) {
+  // One node per level: 10 ticks (L0), 1000 ticks (L1), 100k ticks (L2),
+  // 10M ticks (L3), plus one beyond the horizon (clamped, re-bucketed on
+  // each top-level pass).
+  WheelFixture F;
+  std::vector<uint64_t> Deadlines = {10,        1000,      100000,
+                                     10000000,  3000000000ull};
+  std::vector<std::unique_ptr<TimerNode>> Nodes;
+  for (uint64_t D : Deadlines) {
+    Nodes.push_back(std::make_unique<TimerNode>(makeNode(D * Tick)));
+    F.Wheel.insert(*Nodes.back());
+  }
+  EXPECT_EQ(F.Wheel.size(), Deadlines.size());
+
+  // Walk time forward in uneven steps; every node must fire in its
+  // deadline order, after its deadline, never before.
+  std::map<TimerNode *, uint64_t> FiredAt;
+  uint64_t Steps[] = {5,         11,        999,      1001,    50000,
+                      100001,    9999999,   10000001, 2999999999ull,
+                      3000000001ull};
+  for (uint64_t S : Steps) {
+    F.advanceTo(S * Tick);
+    for (TimerNode *N : F.Fired) {
+      EXPECT_EQ(FiredAt.count(N), 0u) << "node fired twice";
+      FiredAt[N] = S * Tick;
+    }
+  }
+  ASSERT_EQ(FiredAt.size(), Nodes.size());
+  for (auto &Node : Nodes) {
+    ASSERT_TRUE(FiredAt.count(Node.get()));
+    EXPECT_GE(FiredAt[Node.get()], Node->DeadlineNs)
+        << "fired before its deadline";
+  }
+}
+
+TEST(TimerWheelTest, NextDueBoundNeverLate) {
+  WheelFixture F;
+  TimerNode A = makeNode(100 * Tick);
+  TimerNode B = makeNode(5000 * Tick);
+  F.Wheel.insert(A);
+  F.Wheel.insert(B);
+  // The bound is a lower bound on the earliest deadline.
+  EXPECT_LE(F.Wheel.nextDueBoundNs(), 100 * Tick);
+  EXPECT_GT(F.Wheel.nextDueBoundNs(), 0u);
+
+  EXPECT_EQ(F.advanceTo(101 * Tick), 1u);
+  // After A fires the bound must track B (coarsely), not stay at A.
+  EXPECT_LE(F.Wheel.nextDueBoundNs(), 5000 * Tick);
+  EXPECT_GT(F.Wheel.nextDueBoundNs(), 101 * Tick);
+
+  EXPECT_TRUE(F.Wheel.cancel(B));
+  EXPECT_EQ(F.Wheel.nextDueBoundNs(), NeverNs);
+}
+
+TEST(TimerWheelTest, ReArmAfterFire) {
+  WheelFixture F;
+  TimerNode N = makeNode(10 * Tick);
+  F.Wheel.insert(N);
+  EXPECT_EQ(F.advanceTo(11 * Tick), 1u);
+  N.DeadlineNs = 20 * Tick;
+  F.Wheel.insert(N); // Fired nodes may be re-armed.
+  EXPECT_EQ(F.advanceTo(21 * Tick), 1u);
+  EXPECT_EQ(F.Fired[0], &N);
+}
+
+TEST(TimerWheelTest, RandomizedAgainstReference) {
+  AUTOSYNCH_SEEDED_RNG(R, 7001);
+  for (int Round = 0; Round != 20; ++Round) {
+    uint64_t Start = static_cast<uint64_t>(R.range(0, 1 << 20)) * Tick;
+    TimerWheel Wheel(Tick, Start);
+    std::vector<std::unique_ptr<TimerNode>> Nodes;
+    // Reference: node -> deadline for all live (uncancelled, unfired).
+    std::map<TimerNode *, uint64_t> Live;
+    uint64_t Now = Start;
+    std::vector<TimerNode *> Fired;
+
+    for (int Op = 0; Op != 400; ++Op) {
+      int Kind = static_cast<int>(R.range(0, 9));
+      if (Kind <= 4) { // Insert with a mix of near and far deadlines.
+        uint64_t Delta = R.chance(1, 4)
+                             ? R.range(0, 100) * Tick
+                             : R.range(0, 5000000) * Tick;
+        Nodes.push_back(std::make_unique<TimerNode>(
+            makeNode(Now + Delta + R.range(0, 999))));
+        Wheel.insert(*Nodes.back());
+        Live[Nodes.back().get()] = Nodes.back()->DeadlineNs;
+      } else if (Kind <= 6 && !Live.empty()) { // Cancel a random live node.
+        auto It = Live.begin();
+        std::advance(It, R.range(0, Live.size() - 1));
+        EXPECT_TRUE(Wheel.cancel(*It->first));
+        Live.erase(It);
+      } else { // Advance by a random step.
+        Now += R.range(0, 200000) * Tick / 10;
+        Fired.clear();
+        Wheel.advance(Now, Fired);
+        uint64_t NowTick = Now / Tick;
+        for (TimerNode *N : Fired) {
+          ASSERT_TRUE(Live.count(N)) << "fired a cancelled/foreign node";
+          // Fire rule: deadline tick fully elapsed, never early.
+          EXPECT_LT(N->DeadlineNs / Tick, NowTick);
+          Live.erase(N);
+        }
+        // Completeness: every live node whose deadline tick elapsed must
+        // have fired in this advance.
+        for (auto &[N, D] : Live)
+          EXPECT_GE(D / Tick, NowTick)
+              << "wheel held back an elapsed timer";
+      }
+      EXPECT_EQ(Wheel.size(), Live.size());
+    }
+  }
+}
+
+} // namespace

@@ -59,6 +59,10 @@ int usage(const char *Argv0, int Code) {
       "  --seed=S               workload seed (default: 1)\n"
       "  --relay-filter=F[,F..] always,dirty: relay-filter sweep for the\n"
       "                         dirty-set ablation (default: dirty)\n"
+      "  --op-timeout-us=N[,N..] per-op channel deadline sweep in\n"
+      "                         microseconds; 0 = untimed (default: 0).\n"
+      "                         Timed ops that expire are counted and\n"
+      "                         retried, so token conservation holds\n"
       "  --json=PATH            output file (default: BENCH_workload.json;\n"
       "                         '-' for pure JSON on stdout, '' to skip)\n"
       "  --assert-plan-cache    fail unless every automatic (relay-policy)\n"
@@ -70,6 +74,15 @@ int usage(const char *Argv0, int Code) {
       Argv0);
   return Code;
 }
+
+// Enum-style flags reject unknown values with the full list of valid
+// choices — a typo'd cell label must fail loudly, never silently publish
+// results under the default.
+constexpr const char *RelayFilterChoices = "always, dirty";
+constexpr const char *MechanismChoices =
+    "explicit, baseline, autosynch-t, autosynch";
+constexpr const char *BackendChoices = "std, futex";
+constexpr const char *ArrivalChoices = "closed, open-uniform, open-poisson";
 
 bool parseRelayFilter(std::string_view S, RelayFilter &Out) {
   if (S == "always")
@@ -141,6 +154,7 @@ int main(int Argc, char **Argv) {
                                   Mechanism::AutoSynch};
   std::vector<sync::Backend> Backends = {sync::Backend::Std};
   std::vector<RelayFilter> Filters = {RelayFilter::DirtySet};
+  std::vector<uint64_t> OpTimeoutsUs = {0};
   RunConfig Base;
   std::string JsonPath = "BENCH_workload.json";
   bool AssertPlanCache = false;
@@ -194,8 +208,8 @@ int main(int Argc, char **Argv) {
       for (const std::string &M : splitList(V)) {
         Mechanism Mech;
         if (!parseMechanism(M, Mech)) {
-          std::fprintf(stderr, "%s: unknown mechanism '%s'\n", Argv[0],
-                       M.c_str());
+          std::fprintf(stderr, "%s: unknown mechanism '%s' (valid: %s)\n",
+                       Argv[0], M.c_str(), MechanismChoices);
           return 2;
         }
         Mechs.push_back(Mech);
@@ -209,8 +223,8 @@ int main(int Argc, char **Argv) {
       for (const std::string &B : splitList(V)) {
         sync::Backend Backend;
         if (!parseBackend(B, Backend)) {
-          std::fprintf(stderr, "%s: unknown backend '%s'\n", Argv[0],
-                       B.c_str());
+          std::fprintf(stderr, "%s: unknown backend '%s' (valid: %s)\n",
+                       Argv[0], B.c_str(), BackendChoices);
           return 2;
         }
         Backends.push_back(Backend);
@@ -224,14 +238,34 @@ int main(int Argc, char **Argv) {
       for (const std::string &F : splitList(V)) {
         RelayFilter Filter;
         if (!parseRelayFilter(F, Filter)) {
-          std::fprintf(stderr, "%s: unknown relay filter '%s'\n", Argv[0],
-                       F.c_str());
+          std::fprintf(stderr,
+                       "%s: unknown relay filter '%s' (valid: %s)\n",
+                       Argv[0], F.c_str(), RelayFilterChoices);
           return 2;
         }
         Filters.push_back(Filter);
       }
       if (Filters.empty()) {
         std::fprintf(stderr, "%s: empty --relay-filter list\n", Argv[0]);
+        return 2;
+      }
+    } else if ((V = matchFlag(Arg, "--op-timeout-us"))) {
+      OpTimeoutsUs.clear();
+      for (const std::string &T : splitList(V)) {
+        char *End = nullptr;
+        unsigned long long N = std::strtoull(T.c_str(), &End, 10);
+        if (End == T.c_str() || *End != '\0' ||
+            N > 60ull * 1000 * 1000) { // Cap at one minute per op.
+          std::fprintf(stderr,
+                       "%s: bad --op-timeout-us entry '%s' (valid: "
+                       "0..60000000; 0 = untimed)\n",
+                       Argv[0], T.c_str());
+          return 2;
+        }
+        OpTimeoutsUs.push_back(static_cast<uint64_t>(N));
+      }
+      if (OpTimeoutsUs.empty()) {
+        std::fprintf(stderr, "%s: empty --op-timeout-us list\n", Argv[0]);
         return 2;
       }
     } else if ((V = matchFlag(Arg, "--tokens"))) {
@@ -250,7 +284,9 @@ int main(int Argc, char **Argv) {
       else if (std::strcmp(V, "open-poisson") == 0)
         Base.Process = Arrival::OpenPoisson;
       else {
-        std::fprintf(stderr, "%s: unknown arrival mode '%s'\n", Argv[0], V);
+        std::fprintf(stderr,
+                     "%s: unknown arrival mode '%s' (valid: %s)\n",
+                     Argv[0], V, ArrivalChoices);
         return 2;
       }
     } else if ((V = matchFlag(Arg, "--rate"))) {
@@ -309,8 +345,8 @@ int main(int Argc, char **Argv) {
   }
 
   bench::Table Summary({"threads", "mechanism", "backend", "filter",
-                        "wall-s", "tokens/s", "e2e-p50-ms", "e2e-p95-ms",
-                        "e2e-p99-ms"});
+                        "op-to-us", "timeouts", "wall-s", "tokens/s",
+                        "e2e-p50-ms", "e2e-p95-ms", "e2e-p99-ms"});
   std::vector<ScenarioReport> Reports;
   for (int T : Threads) {
     ScenarioSpec Sized = Scenario->withWorkers(T);
@@ -324,23 +360,28 @@ int main(int Argc, char **Argv) {
           // under a meaningless label.
           if (!RelayPolicy && F != Filters.front())
             continue;
-          RunConfig Cfg = Base;
-          Cfg.Mech = M;
-          Cfg.Backend = B;
-          Cfg.Filter = F;
-          ScenarioReport R = runScenario(Sized, Cfg);
-          char Buf[32];
-          auto Fmt = [&Buf](double Val) {
-            std::snprintf(Buf, sizeof(Buf), "%.3f", Val);
-            return std::string(Buf);
-          };
-          Summary.addRow({std::to_string(T), mechanismName(M),
-                          sync::backendName(B), relayFilterName(F),
-                          Fmt(R.WallSeconds), Fmt(R.Throughput),
-                          Fmt(fmtMs(R.EndToEnd.quantileNanos(0.50))),
-                          Fmt(fmtMs(R.EndToEnd.quantileNanos(0.95))),
-                          Fmt(fmtMs(R.EndToEnd.quantileNanos(0.99)))});
-          Reports.push_back(std::move(R));
+          for (uint64_t OtUs : OpTimeoutsUs) {
+            RunConfig Cfg = Base;
+            Cfg.Mech = M;
+            Cfg.Backend = B;
+            Cfg.Filter = F;
+            Cfg.OpTimeoutNs = OtUs * 1000;
+            ScenarioReport R = runScenario(Sized, Cfg);
+            char Buf[32];
+            auto Fmt = [&Buf](double Val) {
+              std::snprintf(Buf, sizeof(Buf), "%.3f", Val);
+              return std::string(Buf);
+            };
+            Summary.addRow({std::to_string(T), mechanismName(M),
+                            sync::backendName(B), relayFilterName(F),
+                            std::to_string(OtUs),
+                            std::to_string(R.OpTimeouts),
+                            Fmt(R.WallSeconds), Fmt(R.Throughput),
+                            Fmt(fmtMs(R.EndToEnd.quantileNanos(0.50))),
+                            Fmt(fmtMs(R.EndToEnd.quantileNanos(0.95))),
+                            Fmt(fmtMs(R.EndToEnd.quantileNanos(0.99)))});
+            Reports.push_back(std::move(R));
+          }
         }
       }
     }
@@ -419,7 +460,9 @@ int main(int Argc, char **Argv) {
   JsonWriter J(*OS);
   J.beginObject()
       .member("tool", "autosynch-workbench")
-      .member("version", 3) // 3: per-run "relay_filter" + "relay" counters.
+      .member("version", 4) // 4: per-run "op_timeout_ns"/"op_timeouts" +
+                            // "time" deadline-runtime counters (3 added
+                            // "relay_filter" + "relay").
       .member("scenario", Scenario->Name)
       .member("description", Scenario->Description)
       .member("tokens_per_source", Base.TokensPerSource)
